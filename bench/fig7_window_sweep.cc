@@ -1,0 +1,51 @@
+// Fig. 7: bit rate vs error rate as the timing window varies.
+// Paper: bit rate = clock/(window·8); error explodes below ~9,000-cycle
+// windows (a '1' costs ~9,000 cycles to send); best point 35 KBps @ 1.7%
+// error at a 15,000-cycle window.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
+#include "common/table.h"
+
+int main() {
+  using namespace meecc;
+  benchutil::banner("Bit rate / error rate vs timing window",
+                    "Fig. 7, paper section 5.4");
+
+  const Cycles windows[] = {5000, 7500, 10000, 15000, 20000, 25000, 30000};
+  const std::size_t bits = 1500;
+
+  Table table({"window (cyc)", "bit rate (KBps)", "error rate", "bit errors",
+               "paper"});
+  const char* paper_notes[] = {"unusable (<9000)", "~34% (<9000)",
+                               "~5.2%",           "1.7% (best)",
+                               "low",             "low",
+                               "low"};
+
+  int row = 0;
+  for (const Cycles window : windows) {
+    channel::TestBedConfig bed_config =
+        channel::default_testbed_config(700 + row);
+    bed_config.system.mee.functional_crypto = false;
+    channel::TestBed bed(bed_config);
+
+    channel::ChannelConfig config;
+    config.window = window;
+    const auto payload = channel::random_bits(bits, 7000 + row);
+    const auto result = channel::run_covert_channel(bed, config, payload);
+
+    char rate[32], err[32];
+    std::snprintf(rate, sizeof rate, "%.1f", result.kilobytes_per_second);
+    std::snprintf(err, sizeof err, "%.3f", result.error_rate);
+    table.add(window, rate, err, result.bit_errors, paper_notes[row]);
+    ++row;
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("trojan's '1' costs ~9000 cycles (16 access+flush pairs), so\n"
+              "windows below that overrun into the next bit — the error\n"
+              "cliff between 10000 and 7500 in both the paper and here.\n");
+  std::printf("\nCSV\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// google-benchmark microbenchmarks of the simulator's hot kernels — useful
+// when tuning experiment runtimes (the figure benches simulate hundreds of
+// thousands of MEE walks).
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc_cache.h"
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "crypto/line_cipher.h"
+#include "crypto/mac.h"
+#include "mee/engine.h"
+#include "mem/address_map.h"
+#include "mem/physical_memory.h"
+
+namespace {
+
+using namespace meecc;
+
+void BM_Aes128EncryptBlock(benchmark::State& state) {
+  const crypto::Aes128 aes(crypto::Key128{1, 2, 3, 4});
+  crypto::Block block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_Aes128EncryptBlock);
+
+void BM_LineEncrypt(benchmark::State& state) {
+  const crypto::LineCipher cipher(crypto::Key128{5, 6, 7, 8});
+  crypto::LineData line{};
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    line = cipher.encrypt(line, 0x1000, ++version);
+    benchmark::DoNotOptimize(line);
+  }
+}
+BENCHMARK(BM_LineEncrypt);
+
+void BM_MacTag(benchmark::State& state) {
+  const crypto::MacFunction mac(crypto::Key128{9, 10, 11, 12});
+  crypto::LineData line{};
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac.tag(0x40, ++version, line));
+  }
+}
+BENCHMARK(BM_MacTag);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::SetAssocCache cache(cache::mee_cache_geometry(),
+                             cache::ReplacementKind::kTreePlru, Rng(1));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(PhysAddr{rng.next_below(1 << 22) * 64}));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_MeeReadVersionsHit(benchmark::State& state) {
+  const mem::AddressMap map(
+      mem::AddressMapConfig{.general_size = 1 << 20, .epc_size = 4 << 20});
+  mem::PhysicalMemory memory;
+  mee::MeeConfig config;
+  config.functional_crypto = state.range(0) != 0;
+  mee::MeeEngine engine(map, memory, config, Rng(1));
+  const PhysAddr addr = map.protected_data().base;
+  engine.read_line(CoreId{0}, addr);  // warm the path
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.read_line(CoreId{0}, addr));
+  }
+}
+BENCHMARK(BM_MeeReadVersionsHit)->Arg(0)->Arg(1);
+
+void BM_MeeColdWalk(benchmark::State& state) {
+  const mem::AddressMap map(
+      mem::AddressMapConfig{.general_size = 1 << 20, .epc_size = 4 << 20});
+  mem::PhysicalMemory memory;
+  mee::MeeConfig config;
+  config.functional_crypto = state.range(0) != 0;
+  mee::MeeEngine engine(map, memory, config, Rng(1));
+  const PhysAddr addr = map.protected_data().base;
+  for (auto _ : state) {
+    engine.mutable_cache().flush_all();
+    benchmark::DoNotOptimize(engine.read_line(CoreId{0}, addr));
+  }
+}
+BENCHMARK(BM_MeeColdWalk)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

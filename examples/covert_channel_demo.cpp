@@ -1,0 +1,64 @@
+// Leak an ASCII secret from a trojan enclave to a spy enclave through the
+// MEE cache — the paper's threat model (§2.3) end to end: the trojan sits in
+// the victim's environment, encodes the secret as window-timed evictions,
+// and the spy on another physical core decodes it from versions hit/miss
+// timing, without shared memory and without leaving enclave mode.
+//
+//   $ ./covert_channel_demo "attack at dawn"
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
+
+namespace {
+
+std::vector<std::uint8_t> to_bits(const std::string& text) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(text.size() * 8);
+  for (const char c : text)
+    for (int bit = 7; bit >= 0; --bit)
+      bits.push_back(static_cast<std::uint8_t>((c >> bit) & 1));
+  return bits;
+}
+
+std::string from_bits(const std::vector<std::uint8_t>& bits) {
+  std::string text;
+  for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+    char c = 0;
+    for (int bit = 0; bit < 8; ++bit)
+      c = static_cast<char>((c << 1) | bits[i + bit]);
+    text.push_back((c >= 32 && c < 127) ? c : '?');
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace meecc;
+  const std::string secret =
+      argc > 1 ? argv[1] : "SGX key material: 0xDEADBEEF";
+
+  channel::TestBedConfig config = channel::default_testbed_config(13);
+  config.system.mee.functional_crypto = false;  // timing demo, fast path
+  channel::TestBed bed(config);
+
+  const auto bits = to_bits(secret);
+  std::printf("trojan encodes %zu bytes (%zu bits) of secret...\n",
+              secret.size(), bits.size());
+
+  const auto result =
+      channel::run_covert_channel(bed, channel::ChannelConfig{}, bits);
+
+  const std::string leaked = from_bits(result.received);
+  std::printf("spy decoded  : \"%s\"\n", leaked.c_str());
+  std::printf("original     : \"%s\"\n", secret.c_str());
+  std::printf("bit errors   : %zu / %zu (%.2f%%), %.1f KBps\n",
+              result.bit_errors, bits.size(), 100.0 * result.error_rate,
+              result.kilobytes_per_second);
+  std::printf("\n(the paper reports 1.7%% raw bit errors; real attacks add\n"
+              "error-correcting codes on top — none are applied here.)\n");
+  return 0;
+}

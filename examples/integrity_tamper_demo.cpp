@@ -1,0 +1,79 @@
+// The substrate is a real (functional) MEE, not a timing stub: protected
+// lines in simulated DRAM are AES-CTR ciphertext, and the counter tree
+// really authenticates them. This demo shows what SGX's memory protection
+// guarantees — and that our simulated DRAM attacker is caught.
+//
+//   $ ./integrity_tamper_demo
+#include <cstdio>
+
+#include "common/rng.h"
+#include "mem/address_map.h"
+#include "mem/physical_memory.h"
+#include "mee/engine.h"
+
+int main() {
+  using namespace meecc;
+
+  const mem::AddressMap map(
+      mem::AddressMapConfig{.general_size = 4ull << 20, .epc_size = 4ull << 20});
+  mem::PhysicalMemory memory;
+  mee::MeeEngine engine(map, memory, mee::MeeConfig{}, Rng(99));
+  const CoreId core{0};
+  const PhysAddr secret_addr = map.protected_data().base + 0x4'2000;
+
+  // 1. An enclave stores a secret.
+  mem::Line secret{};
+  const char* text = "enclave secret: launch code 0000";
+  for (std::size_t i = 0; text[i] && i < secret.size(); ++i)
+    secret[i] = static_cast<std::uint8_t>(text[i]);
+  engine.write_line(core, secret_addr, secret);
+  std::printf("[enclave] stored: \"%s\"\n", text);
+
+  // 2. What an untrusted-DRAM attacker sees: ciphertext.
+  const mem::Line raw = memory.read_line(secret_addr);
+  std::printf("[DRAM]    first 16 ciphertext bytes: ");
+  for (int i = 0; i < 16; ++i) std::printf("%02x", raw[i]);
+  std::printf("  (version counter = %llu)\n",
+              static_cast<unsigned long long>(
+                  engine.version_counter(secret_addr)));
+
+  // 3. Reading through the MEE decrypts and verifies.
+  mem::Line readback;
+  engine.read_line(core, secret_addr, &readback);
+  std::printf("[enclave] readback ok: \"%.32s\"\n",
+              reinterpret_cast<const char*>(readback.data()));
+
+  // 4. The DRAM attacker flips one ciphertext bit...
+  engine.mutable_cache().flush_all();  // let the cached path age out first
+  mem::Line tampered = raw;
+  tampered[0] ^= 0x01;
+  memory.write_line(secret_addr, tampered);
+  try {
+    engine.read_line(core, secret_addr, &readback);
+    std::printf("[enclave] TAMPER MISSED — this must not happen\n");
+    return 1;
+  } catch (const mee::TamperDetected& e) {
+    std::printf("[MEE]     tamper detected: %s\n", e.what());
+  }
+  memory.write_line(secret_addr, raw);  // restore
+
+  // 5. ...then tries a replay: roll the versions node back to an old state.
+  const auto chunk = engine.geometry().chunk_of(secret_addr);
+  const auto ver_addr = engine.geometry().versions_line_addr(chunk);
+  const auto old_versions = memory.read_line(ver_addr);
+  engine.write_line(core, secret_addr, secret);  // moves the tree forward
+  engine.mutable_cache().flush_all();
+  memory.write_line(ver_addr, old_versions);     // replay old counters
+  try {
+    engine.read_line(core, secret_addr, &readback);
+    std::printf("[enclave] REPLAY MISSED — this must not happen\n");
+    return 1;
+  } catch (const mee::TamperDetected& e) {
+    std::printf("[MEE]     replay detected: %s\n", e.what());
+  }
+
+  std::printf("\nintegrity and freshness hold — and it is exactly this\n"
+              "machinery (the versions/L0/L1/L2 walk + MEE cache) whose\n"
+              "timing the covert channel exploits.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// How the channel degrades under co-tenant load (paper §5.4, Fig. 8):
+// cache/memory stress barely matters (it never touches the MEE cache),
+// while a co-tenant enclave streaming integrity-tree data through the MEE
+// cache costs real bit errors.
+//
+//   $ ./noise_robustness
+#include <cstdio>
+
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
+
+int main() {
+  using namespace meecc;
+  const auto payload = channel::pattern_100100(128);
+
+  const channel::NoiseEnv envs[] = {
+      channel::NoiseEnv::kNone, channel::NoiseEnv::kMemoryStress,
+      channel::NoiseEnv::kMeeStride512, channel::NoiseEnv::kMeeStride4K};
+
+  std::printf("%-28s %-14s %s\n", "environment", "errors /128", "error rate");
+  int seed = 300;
+  for (const auto env : envs) {
+    channel::TestBedConfig config = channel::default_testbed_config(seed++);
+    config.system.mee.functional_crypto = false;
+    config.noise = env;
+    config.noise_autostart = false;  // co-tenant load arrives mid-transfer
+    channel::TestBed bed(config);
+    const auto result =
+        channel::run_covert_channel(bed, channel::ChannelConfig{}, payload);
+    std::printf("%-28s %-14zu %.3f\n",
+                std::string(to_string(env)).c_str(), result.bit_errors,
+                result.error_rate);
+  }
+  std::printf("\npaper Fig. 8: no-noise/memory-noise ~1 error bit;\n"
+              "MEE-cache noise (512B/4KB stride) ~4-5 error bits.\n");
+  return 0;
+}

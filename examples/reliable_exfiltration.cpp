@@ -1,0 +1,58 @@
+// Reliable exfiltration (extension): the paper measures the RAW channel
+// ("without any error handling"); a deployed attack wraps it in coding. This
+// demo leaks a 32-byte key through the MEE cache while a noisy co-tenant
+// hammers the MEE — Hamming(7,4) + interleaving + repetition + ARQ deliver
+// it intact.
+//
+//   $ ./reliable_exfiltration
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
+#include "channel/transport.h"
+
+int main() {
+  using namespace meecc;
+
+  channel::TestBedConfig config = channel::default_testbed_config(77);
+  config.system.mee.functional_crypto = false;
+  config.noise = channel::NoiseEnv::kMeeStride512;  // hostile conditions
+  config.noise_autostart = false;
+  channel::TestBed bed(config);
+
+  std::printf("[setup] Algorithm 1 + monitor discovery (quiet period)...\n");
+  const auto setup = channel::setup_covert_channel(bed, channel::ChannelConfig{});
+  std::printf("[setup] eviction set: %u addresses\n",
+              setup.eviction.associativity());
+
+  bed.start_noise();
+  std::printf("[noise] co-tenant starts streaming integrity-tree data\n");
+
+  std::vector<std::uint8_t> key;
+  for (const char c : std::string("0f1e2d3c4b5a69788796a5b4c3d2e1f0"))
+    key.push_back(static_cast<std::uint8_t>(c));
+
+  channel::TransportConfig transport;
+  transport.repetition = 3;   // ~3% raw BER needs the inner repetition code
+  transport.max_attempts = 4;
+
+  const auto result = channel::run_reliable_transfer(
+      bed, channel::ChannelConfig{}, key, setup, transport);
+
+  std::printf("[spy]   raw bit errors (last attempt): %zu\n",
+              result.raw_bit_errors);
+  std::printf("[spy]   Hamming corrections applied:   %zu\n",
+              result.corrected_bits);
+  std::printf("[spy]   transmissions (ARQ):           %d\n", result.attempts);
+  std::printf("[spy]   delivered intact:              %s\n",
+              result.delivered ? "YES (CRC verified)" : "NO");
+  std::printf("[spy]   key: %.*s\n", static_cast<int>(result.payload.size()),
+              reinterpret_cast<const char*>(result.payload.data()));
+  std::printf("[rate]  raw channel %.1f KBps -> payload %.1f KBps net of\n"
+              "        Hamming(7,4) x repetition-3 x %d attempt(s)\n",
+              result.channel.kilobytes_per_second,
+              result.payload_kilobytes_per_second, result.attempts);
+  return result.delivered ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#include "cache/geometry.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace meecc::cache {
+
+void Geometry::validate() const {
+  MEECC_CHECK(line_size > 0 && std::has_single_bit(line_size));
+  MEECC_CHECK(ways > 0);
+  MEECC_CHECK(size_bytes > 0);
+  MEECC_CHECK(size_bytes % (static_cast<std::uint64_t>(ways) * line_size) == 0);
+  MEECC_CHECK_MSG(std::has_single_bit(sets()),
+                  "set count must be a power of two, got " << sets());
+}
+
+}  // namespace meecc::cache

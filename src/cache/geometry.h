@@ -1,0 +1,39 @@
+// Set-associative cache geometry: size/ways/line → sets, index, tag.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace meecc::cache {
+
+struct Geometry {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t ways = 0;
+  std::uint32_t line_size = kLineSize;
+
+  std::uint64_t lines() const { return size_bytes / line_size; }
+  std::uint64_t sets() const { return lines() / ways; }
+
+  /// Physical set index for an address (physically-indexed caches only).
+  std::uint64_t set_index(PhysAddr a) const {
+    return (a.raw / line_size) % sets();
+  }
+  /// Tag (full line index above the set bits).
+  std::uint64_t tag(PhysAddr a) const { return (a.raw / line_size) / sets(); }
+  /// Reconstructs the line base address from (tag, set).
+  PhysAddr line_address(std::uint64_t tag_value, std::uint64_t set) const {
+    return PhysAddr{(tag_value * sets() + set) * line_size};
+  }
+
+  /// Validates power-of-two invariants; throws CheckFailure if violated.
+  void validate() const;
+};
+
+/// The MEE cache organization the paper reverse engineers (§4):
+/// 64 KB, 8-way set-associative, 128 sets, 64 B lines.
+inline Geometry mee_cache_geometry() {
+  return Geometry{.size_bytes = 64 * 1024, .ways = 8, .line_size = 64};
+}
+
+}  // namespace meecc::cache

@@ -1,0 +1,92 @@
+#include "cache/hierarchy.h"
+
+#include "common/check.h"
+
+namespace meecc::cache {
+
+std::string_view to_string(HitLevel level) {
+  switch (level) {
+    case HitLevel::kL1:
+      return "L1";
+    case HitLevel::kL2:
+      return "L2";
+    case HitLevel::kLlc:
+      return "LLC";
+    case HitLevel::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+Hierarchy::Hierarchy(const HierarchyConfig& config, unsigned core_count,
+                     Rng rng)
+    : config_(config) {
+  MEECC_CHECK(core_count > 0);
+  for (unsigned c = 0; c < core_count; ++c) {
+    l1_.push_back(std::make_unique<SetAssocCache>(
+        config_.l1, config_.l1_replacement, rng.fork()));
+    l2_.push_back(std::make_unique<SetAssocCache>(
+        config_.l2, config_.l2_replacement, rng.fork()));
+  }
+  llc_ = std::make_unique<SetAssocCache>(config_.llc, config_.llc_replacement,
+                                         rng.fork());
+}
+
+HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr) {
+  MEECC_CHECK(core.value < l1_.size());
+  const PhysAddr line = addr.line_base();
+  auto& l1 = *l1_[core.value];
+  auto& l2 = *l2_[core.value];
+
+  if (l1.lookup(line)) return {HitLevel::kL1, config_.l1_latency};
+
+  if (l2.lookup(line)) {
+    l1.fill(line);
+    return {HitLevel::kL2, config_.l2_latency};
+  }
+
+  if (llc_->lookup(line)) {
+    l2.fill(line);
+    l1.fill(line);
+    return {HitLevel::kLlc, config_.llc_latency};
+  }
+
+  // Miss everywhere: fill inclusive, honoring back-invalidation.
+  if (const auto evicted = llc_->fill(line)) back_invalidate(*evicted);
+  l2.fill(line);
+  l1.fill(line);
+  return {HitLevel::kMemory, config_.llc_latency};
+}
+
+Cycles Hierarchy::clflush(PhysAddr addr) {
+  const PhysAddr line = addr.line_base();
+  llc_->invalidate(line);
+  back_invalidate(line);
+  return config_.clflush_latency;
+}
+
+bool Hierarchy::resident(PhysAddr addr) const {
+  const PhysAddr line = addr.line_base();
+  if (llc_->contains(line)) return true;
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    if (l1_[c]->contains(line) || l2_[c]->contains(line)) return true;
+  }
+  return false;
+}
+
+void Hierarchy::back_invalidate(PhysAddr addr) {
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    l1_[c]->invalidate(addr);
+    l2_[c]->invalidate(addr);
+  }
+}
+
+void Hierarchy::flush_all() {
+  llc_->flush_all();
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    l1_[c]->flush_all();
+    l2_[c]->flush_all();
+  }
+}
+
+}  // namespace meecc::cache

@@ -1,0 +1,75 @@
+// Per-core L1/L2 plus a shared inclusive LLC, Skylake-like.
+//
+// Inclusivity matters for the attacks: clflush (or an LLC eviction) removes a
+// line from every private cache too, guaranteeing the next access reaches
+// DRAM — and, for protected addresses, the MEE. The MEE cache is NOT part of
+// this hierarchy and is untouched by clflush (paper §3 challenge 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace meecc::cache {
+
+enum class HitLevel { kL1, kL2, kLlc, kMemory };
+
+std::string_view to_string(HitLevel level);
+
+struct HierarchyConfig {
+  Geometry l1{.size_bytes = 32 * 1024, .ways = 8};
+  Geometry l2{.size_bytes = 256 * 1024, .ways = 4};
+  Geometry llc{.size_bytes = 8 * 1024 * 1024, .ways = 16};
+  ReplacementKind l1_replacement = ReplacementKind::kTreePlru;
+  ReplacementKind l2_replacement = ReplacementKind::kTreePlru;
+  ReplacementKind llc_replacement = ReplacementKind::kTreePlru;
+  Cycles l1_latency = 4;    ///< hit latency
+  Cycles l2_latency = 14;   ///< hit latency (includes L1 miss)
+  Cycles llc_latency = 44;  ///< hit latency (includes L1+L2 miss)
+  Cycles clflush_latency = 46;
+  Cycles mfence_latency = 24;
+};
+
+struct HierarchyResult {
+  HitLevel level = HitLevel::kMemory;
+  Cycles lookup_latency = 0;  ///< excludes DRAM/MEE time on kMemory
+};
+
+class Hierarchy {
+ public:
+  Hierarchy(const HierarchyConfig& config, unsigned core_count, Rng rng);
+
+  /// Performs one data access from `core`, filling all levels on miss
+  /// (inclusive fill). LLC evictions back-invalidate every private cache.
+  HierarchyResult access(CoreId core, PhysAddr addr);
+
+  /// clflush semantics: removes the line from LLC and all private caches.
+  /// Returns the modelled instruction latency.
+  Cycles clflush(PhysAddr addr);
+
+  /// True if the line is resident anywhere in the hierarchy.
+  bool resident(PhysAddr addr) const;
+
+  const HierarchyConfig& config() const { return config_; }
+  unsigned core_count() const { return static_cast<unsigned>(l1_.size()); }
+
+  const SetAssocCache& l1(CoreId core) const { return *l1_.at(core.value); }
+  const SetAssocCache& l2(CoreId core) const { return *l2_.at(core.value); }
+  const SetAssocCache& llc() const { return *llc_; }
+
+  void flush_all();
+
+ private:
+  void back_invalidate(PhysAddr addr);
+
+  HierarchyConfig config_;
+  std::vector<std::unique_ptr<SetAssocCache>> l1_;
+  std::vector<std::unique_ptr<SetAssocCache>> l2_;
+  std::unique_ptr<SetAssocCache> llc_;
+};
+
+}  // namespace meecc::cache

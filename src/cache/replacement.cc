@@ -1,0 +1,188 @@
+#include "cache/replacement.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "common/check.h"
+
+namespace meecc::cache {
+
+std::string_view to_string(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return "lru";
+    case ReplacementKind::kTreePlru:
+      return "tree-plru";
+    case ReplacementKind::kNru:
+      return "nru";
+    case ReplacementKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True LRU via use timestamps.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruPolicy(std::uint32_t ways) : stamp_(ways, 0) {}
+
+  void touch(std::uint32_t way) override {
+    MEECC_CHECK(way < stamp_.size());
+    stamp_[way] = ++clock_;
+  }
+
+  std::uint32_t victim() override {
+    const auto it = std::min_element(stamp_.begin(), stamp_.end());
+    return static_cast<std::uint32_t>(it - stamp_.begin());
+  }
+
+  void invalidate(std::uint32_t way) override {
+    MEECC_CHECK(way < stamp_.size());
+    stamp_[way] = 0;  // oldest possible → chosen first
+  }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+/// Tree-PLRU: a binary tree of direction bits over the ways. This is the
+/// classic "approximate LRU": a linear scan of W fresh lines through a W-way
+/// set does not necessarily evict all previous occupants, because fills flip
+/// tree bits and can redirect later victims onto just-filled ways.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  explicit TreePlruPolicy(std::uint32_t ways) : ways_(ways) {
+    MEECC_CHECK(std::has_single_bit(ways));
+    bits_.assign(ways_ - 1, false);
+  }
+
+  void touch(std::uint32_t way) override {
+    MEECC_CHECK(way < ways_);
+    // Walk from the root to the leaf, pointing every node AWAY from `way`.
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = ways_;
+    while (hi - lo > 1) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      const bool went_right = way >= mid;
+      bits_[node] = !went_right;  // next victim search goes the other way
+      node = 2 * node + 1 + (went_right ? 1 : 0);
+      if (went_right)
+        lo = mid;
+      else
+        hi = mid;
+    }
+  }
+
+  std::uint32_t victim() override {
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = ways_;
+    while (hi - lo > 1) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      const bool go_right = bits_[node];
+      node = 2 * node + 1 + (go_right ? 1 : 0);
+      if (go_right)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  void invalidate(std::uint32_t way) override {
+    MEECC_CHECK(way < ways_);
+    // Point the tree AT the invalidated way so it is refilled first.
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = ways_;
+    while (hi - lo > 1) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      const bool go_right = way >= mid;
+      bits_[node] = go_right;
+      node = 2 * node + 1 + (go_right ? 1 : 0);
+      if (go_right)
+        lo = mid;
+      else
+        hi = mid;
+    }
+  }
+
+ private:
+  std::uint32_t ways_;
+  std::vector<bool> bits_;
+};
+
+/// Not-recently-used: one reference bit per way; victims are picked from the
+/// unreferenced ways (random tie-break); all bits clear when they saturate.
+class NruPolicy final : public ReplacementPolicy {
+ public:
+  NruPolicy(std::uint32_t ways, Rng rng) : referenced_(ways, false), rng_(rng) {}
+
+  void touch(std::uint32_t way) override {
+    MEECC_CHECK(way < referenced_.size());
+    referenced_[way] = true;
+    if (std::all_of(referenced_.begin(), referenced_.end(),
+                    [](bool b) { return b; })) {
+      std::fill(referenced_.begin(), referenced_.end(), false);
+      referenced_[way] = true;
+    }
+  }
+
+  std::uint32_t victim() override {
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t w = 0; w < referenced_.size(); ++w)
+      if (!referenced_[w]) candidates.push_back(w);
+    if (candidates.empty()) return 0;
+    return candidates[rng_.next_below(candidates.size())];
+  }
+
+  void invalidate(std::uint32_t way) override {
+    MEECC_CHECK(way < referenced_.size());
+    referenced_[way] = false;
+  }
+
+ private:
+  std::vector<bool> referenced_;
+  Rng rng_;
+};
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::uint32_t ways, Rng rng) : ways_(ways), rng_(rng) {}
+
+  void touch(std::uint32_t) override {}
+  std::uint32_t victim() override {
+    return static_cast<std::uint32_t>(rng_.next_below(ways_));
+  }
+  void invalidate(std::uint32_t) override {}
+
+ private:
+  std::uint32_t ways_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_policy(ReplacementKind kind,
+                                               std::uint32_t ways, Rng rng) {
+  MEECC_CHECK(ways > 0);
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>(ways);
+    case ReplacementKind::kTreePlru:
+      return std::make_unique<TreePlruPolicy>(ways);
+    case ReplacementKind::kNru:
+      return std::make_unique<NruPolicy>(ways, rng);
+    case ReplacementKind::kRandom:
+      return std::make_unique<RandomPolicy>(ways, rng);
+  }
+  MEECC_CHECK_MSG(false, "unknown replacement kind");
+  return nullptr;
+}
+
+}  // namespace meecc::cache

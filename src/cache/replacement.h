@@ -1,0 +1,41 @@
+// Per-set replacement policies.
+//
+// The MEE cache's policy is not public; the paper infers "approximate LRU"
+// (§5.3) from the fact that a single forward pass over an eviction set does
+// not reliably flush the set — the forward+backward two-phase eviction exists
+// to defeat exactly that. Tree-PLRU reproduces that behaviour, so it is the
+// default for the MEE cache; true LRU, NRU and random are provided for the
+// CPU hierarchy and for ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace meecc::cache {
+
+enum class ReplacementKind { kLru, kTreePlru, kNru, kRandom };
+
+std::string_view to_string(ReplacementKind kind);
+
+/// Replacement state for a single set of `ways` ways.
+/// Way indices are dense [0, ways).
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Records a hit or fill on `way`.
+  virtual void touch(std::uint32_t way) = 0;
+  /// Chooses the way to evict (caller fills it and then calls touch()).
+  virtual std::uint32_t victim() = 0;
+  /// Forgets any use history for `way` (invalidation).
+  virtual void invalidate(std::uint32_t way) = 0;
+};
+
+/// Factory. `rng` is consumed by stochastic policies (kRandom, NRU tie-break).
+std::unique_ptr<ReplacementPolicy> make_policy(ReplacementKind kind,
+                                               std::uint32_t ways, Rng rng);
+
+}  // namespace meecc::cache

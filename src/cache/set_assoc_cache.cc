@@ -1,0 +1,157 @@
+#include "cache/set_assoc_cache.h"
+
+#include "common/check.h"
+
+namespace meecc::cache {
+
+SetAssocCache::SetAssocCache(const Geometry& geometry,
+                             ReplacementKind replacement, Rng rng)
+    : geometry_(geometry) {
+  geometry_.validate();
+  const auto sets = geometry_.sets();
+  lines_.resize(sets * geometry_.ways);
+  set_evictions_.assign(sets, 0);
+  policy_.reserve(sets);
+  for (std::uint64_t s = 0; s < sets; ++s)
+    policy_.push_back(make_policy(replacement, geometry_.ways, rng.fork()));
+}
+
+SetAssocCache::LineState& SetAssocCache::line_at(std::uint64_t set,
+                                                 std::uint32_t way) {
+  return lines_[set * geometry_.ways + way];
+}
+
+const SetAssocCache::LineState& SetAssocCache::line_at(
+    std::uint64_t set, std::uint32_t way) const {
+  return lines_[set * geometry_.ways + way];
+}
+
+std::optional<std::uint32_t> SetAssocCache::find_way(PhysAddr addr) const {
+  const auto set = geometry_.set_index(addr);
+  const auto tag = geometry_.tag(addr);
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    const auto& line = line_at(set, w);
+    if (line.valid && line.tag == tag) return w;
+  }
+  return std::nullopt;
+}
+
+bool SetAssocCache::contains(PhysAddr addr) const {
+  return find_way(addr).has_value();
+}
+
+bool SetAssocCache::lookup(PhysAddr addr) {
+  const auto way = find_way(addr);
+  if (!way) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  policy_[geometry_.set_index(addr)]->touch(*way);
+  return true;
+}
+
+std::optional<PhysAddr> SetAssocCache::fill(PhysAddr addr, WayMask allowed) {
+  MEECC_CHECK_MSG(allowed != 0, "fill with empty way mask");
+  const auto set = geometry_.set_index(addr);
+  const auto tag = geometry_.tag(addr);
+
+  if (const auto way = find_way(addr)) {
+    policy_[set]->touch(*way);  // already resident: refresh
+    return std::nullopt;
+  }
+
+  // Prefer an invalid allowed way.
+  std::optional<std::uint32_t> chosen;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (!(allowed & (WayMask{1} << w))) continue;
+    if (!line_at(set, w).valid) {
+      chosen = w;
+      break;
+    }
+  }
+
+  std::optional<PhysAddr> evicted;
+  if (!chosen) {
+    // Ask the policy, skipping disallowed ways by re-touching them so the
+    // policy walks elsewhere. Bounded retries keep this terminating even for
+    // degenerate masks; fall back to the lowest allowed way.
+    auto& policy = *policy_[set];
+    for (int attempt = 0; attempt < 32 && !chosen; ++attempt) {
+      const auto v = policy.victim();
+      if (allowed & (WayMask{1} << v)) {
+        chosen = v;
+      } else {
+        policy.touch(v);
+      }
+    }
+    if (!chosen) {
+      for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (allowed & (WayMask{1} << w)) {
+          chosen = w;
+          break;
+        }
+      }
+    }
+    auto& victim_line = line_at(set, *chosen);
+    if (victim_line.valid) {
+      ++stats_.evictions;
+      ++set_evictions_[set];
+      evicted = geometry_.line_address(victim_line.tag, set);
+    }
+  }
+
+  auto& line = line_at(set, *chosen);
+  line.valid = true;
+  line.tag = tag;
+  policy_[set]->touch(*chosen);
+  return evicted;
+}
+
+bool SetAssocCache::access(PhysAddr addr, WayMask allowed) {
+  if (lookup(addr)) return true;
+  fill(addr, allowed);
+  return false;
+}
+
+bool SetAssocCache::invalidate(PhysAddr addr) {
+  const auto way = find_way(addr);
+  if (!way) return false;
+  const auto set = geometry_.set_index(addr);
+  line_at(set, *way).valid = false;
+  policy_[set]->invalidate(*way);
+  ++stats_.invalidations;
+  return true;
+}
+
+void SetAssocCache::flush_all() {
+  for (std::uint64_t s = 0; s < geometry_.sets(); ++s) {
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+      if (line_at(s, w).valid) {
+        line_at(s, w).valid = false;
+        policy_[s]->invalidate(w);
+        ++stats_.invalidations;
+      }
+    }
+  }
+}
+
+std::uint32_t SetAssocCache::occupancy(std::uint64_t set) const {
+  MEECC_CHECK(set < geometry_.sets());
+  std::uint32_t n = 0;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w)
+    if (line_at(set, w).valid) ++n;
+  return n;
+}
+
+std::vector<PhysAddr> SetAssocCache::resident_lines(std::uint64_t set) const {
+  MEECC_CHECK(set < geometry_.sets());
+  std::vector<PhysAddr> result;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    const auto& line = line_at(set, w);
+    if (line.valid) result.push_back(geometry_.line_address(line.tag, set));
+  }
+  return result;
+}
+
+}  // namespace meecc::cache

@@ -1,0 +1,93 @@
+// Generic physically-indexed set-associative cache (state only, no timing —
+// latency is the caller's concern so the same structure serves L1/L2/LLC and
+// the MEE cache).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/replacement.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace meecc::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Mask of ways a fill is allowed to victimize; bit w = way w allowed.
+/// Used by the way-partitioning mitigation ablation (§5.5).
+using WayMask = std::uint32_t;
+inline constexpr WayMask kAllWays = ~WayMask{0};
+
+class SetAssocCache {
+ public:
+  SetAssocCache(const Geometry& geometry, ReplacementKind replacement, Rng rng);
+
+  /// Probe without side effects: is the line resident?
+  bool contains(PhysAddr addr) const;
+
+  /// Lookup: on hit updates replacement state and returns true.
+  /// Does NOT fill on miss (call fill()).
+  bool lookup(PhysAddr addr);
+
+  /// Inserts the line, evicting if needed. Returns the evicted line's base
+  /// address, if a valid line was displaced. `allowed` restricts candidate
+  /// victim ways (the line itself may still hit in a disallowed way).
+  std::optional<PhysAddr> fill(PhysAddr addr, WayMask allowed = kAllWays);
+
+  /// Convenience: lookup, then fill on miss. Returns true on hit.
+  bool access(PhysAddr addr, WayMask allowed = kAllWays);
+
+  /// Removes the line if present (clflush / back-invalidation).
+  bool invalidate(PhysAddr addr);
+
+  void flush_all();
+
+  const Geometry& geometry() const { return geometry_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Number of valid lines currently in `set` (for tests / introspection).
+  std::uint32_t occupancy(std::uint64_t set) const;
+
+  /// Resident line base addresses in `set`, in way order.
+  std::vector<PhysAddr> resident_lines(std::uint64_t set) const;
+
+  /// Cumulative conflict evictions per set — the defender-visible signature
+  /// a covert channel cannot avoid concentrating into its contested set
+  /// (channel/detector.h).
+  const std::vector<std::uint64_t>& evictions_per_set() const {
+    return set_evictions_;
+  }
+
+ private:
+  struct LineState {
+    bool valid = false;
+    std::uint64_t tag = 0;
+  };
+
+  LineState& line_at(std::uint64_t set, std::uint32_t way);
+  const LineState& line_at(std::uint64_t set, std::uint32_t way) const;
+  std::optional<std::uint32_t> find_way(PhysAddr addr) const;
+
+  Geometry geometry_;
+  std::vector<LineState> lines_;  // sets * ways, row-major by set
+  std::vector<std::unique_ptr<ReplacementPolicy>> policy_;  // one per set
+  std::vector<std::uint64_t> set_evictions_;
+  CacheStats stats_;
+};
+
+}  // namespace meecc::cache

@@ -1,0 +1,25 @@
+#include "channel/candidates.h"
+
+#include "common/check.h"
+
+namespace meecc::channel {
+
+std::vector<VirtAddr> make_candidate_set(const sgx::Enclave& enclave,
+                                         std::uint64_t first_page,
+                                         std::uint64_t pages,
+                                         std::uint32_t offset_unit) {
+  MEECC_CHECK(offset_unit < kOffsetUnits);
+  MEECC_CHECK_MSG(first_page + pages <= enclave.page_count(),
+                  "candidate set exceeds enclave: needs "
+                      << (first_page + pages) << " pages, enclave has "
+                      << enclave.page_count());
+  std::vector<VirtAddr> candidates;
+  candidates.reserve(pages);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    candidates.push_back(enclave.address((first_page + p) * kPageSize +
+                                         offset_unit * kChunkSize));
+  }
+  return candidates;
+}
+
+}  // namespace meecc::channel

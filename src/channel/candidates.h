@@ -1,0 +1,29 @@
+// Candidate address sets (paper §4.1).
+//
+// A candidate address set is a set of enclave virtual addresses, one per
+// page at a fixed 4 KB stride, all sharing the same 512 B "offset unit"
+// within their page. Every candidate's versions line therefore occupies the
+// same relative slot of its page's "consecutive versions data region", and —
+// with the contiguous EPC frames an enclave build produces — the absolute
+// MEE-cache set cycles deterministically through the alias groups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sgx/enclave.h"
+
+namespace meecc::channel {
+
+/// Number of distinct 512 B offset units in a page.
+inline constexpr std::uint32_t kOffsetUnits = kPageSize / kChunkSize;  // 8
+
+/// Builds a candidate set over `pages` consecutive enclave pages starting at
+/// `first_page`, all at offset unit `offset_unit` (0..7).
+std::vector<VirtAddr> make_candidate_set(const sgx::Enclave& enclave,
+                                         std::uint64_t first_page,
+                                         std::uint64_t pages,
+                                         std::uint32_t offset_unit);
+
+}  // namespace meecc::channel

@@ -1,0 +1,44 @@
+// MEE cache capacity probe (paper §4.1, Fig. 4).
+//
+// For each candidate-set size N: prime all N 4 KB-stride addresses through
+// the MEE cache, then re-probe each; any versions miss means the set
+// overflowed some cache set and an eviction occurred. The smallest N whose
+// eviction probability saturates marks the capacity knee; the paper derives
+// capacity = knee × (16 lines × 64 B per way within a consecutive versions
+// data region) = 64 × 1 KB = 64 KB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/testbed.h"
+#include "common/types.h"
+
+namespace meecc::channel {
+
+struct CapacityProbeConfig {
+  std::vector<std::uint64_t> set_sizes = {2, 4, 8, 16, 32, 64};
+  int trials = 100;
+  std::uint32_t offset_unit = 1;
+  double classifier_margin = 90.0;
+};
+
+struct CapacityProbePoint {
+  std::uint64_t candidates = 0;
+  int evictions = 0;
+  double probability = 0.0;
+};
+
+struct CapacityProbeResult {
+  std::vector<CapacityProbePoint> points;
+  /// Smallest probed N with eviction probability ≥ 0.95 (0 if none).
+  std::uint64_t knee = 0;
+  /// knee × 16 × 64 B — the paper's capacity derivation.
+  std::uint64_t estimated_capacity_bytes = 0;
+  bool done = false;
+};
+
+CapacityProbeResult run_capacity_probe(TestBed& bed,
+                                       const CapacityProbeConfig& config);
+
+}  // namespace meecc::channel

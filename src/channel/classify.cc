@@ -1,0 +1,35 @@
+#include "channel/classify.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace meecc::channel {
+
+AdaptiveClassifier::AdaptiveClassifier(double margin, double alpha)
+    : margin_(margin), alpha_(alpha) {
+  MEECC_CHECK(margin > 0.0);
+  MEECC_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void AdaptiveClassifier::calibrate(double hit_measurement) {
+  baseline_ = hit_measurement;
+  calibrated_ = true;
+}
+
+void AdaptiveClassifier::calibrate_from_samples(
+    std::vector<double> hit_measurements) {
+  MEECC_CHECK(!hit_measurements.empty());
+  calibrate(median(std::move(hit_measurements)));
+}
+
+bool AdaptiveClassifier::is_miss(double measurement) {
+  if (!calibrated_) {
+    calibrate(measurement);
+    return false;
+  }
+  if (measurement > baseline_ + margin_) return true;
+  baseline_ = (1.0 - alpha_) * baseline_ + alpha_ * measurement;
+  return false;
+}
+
+}  // namespace meecc::channel

@@ -1,0 +1,55 @@
+// Latency → hit/miss classification for the spy.
+//
+// The attacker cannot rely on absolute thresholds: DRAM latency drifts by
+// tens of cycles over milliseconds (refresh phase, thermals), which would
+// swamp a fixed cut-off sitting 40 cycles above the hit mean. The adaptive
+// classifier tracks the hit baseline with an EWMA (drift is slow relative to
+// the probe rate) and flags a miss when a probe exceeds baseline + margin —
+// the software analogue of the paper's "main memory latency with versions
+// data hit" comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meecc::channel {
+
+class AdaptiveClassifier {
+ public:
+  /// `margin` must sit between the hit-latency noise band and the smallest
+  /// miss delta (one extra tree-level fetch ≈ 65 cycles).
+  explicit AdaptiveClassifier(double margin = 42.0, double alpha = 0.2);
+
+  /// Seeds the baseline with a known-hit measurement.
+  void calibrate(double hit_measurement);
+
+  /// Seeds the baseline with the median of several known-hit measurements —
+  /// a single sample can sit a quantization step high and push the decision
+  /// threshold past the smallest miss delta (the L0-hit case).
+  void calibrate_from_samples(std::vector<double> hit_measurements);
+
+  /// Classifies one probe: true = miss (versions data was evicted).
+  /// Hit-classified probes update the baseline.
+  bool is_miss(double measurement);
+
+  /// Classification without baseline update — for callers that recalibrate
+  /// explicitly (Algorithm 1) and must not let borderline misses creep the
+  /// baseline upward.
+  bool classify(double measurement) const {
+    return calibrated_ && measurement > baseline_ + margin_;
+  }
+
+  double baseline() const { return baseline_; }
+  bool calibrated() const { return calibrated_; }
+  double margin() const { return margin_; }
+
+ private:
+  double margin_;
+  double alpha_;
+  double baseline_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace meecc::channel

@@ -1,0 +1,67 @@
+// Performance-counter anomaly detection (§5.5 / refs [1][4] adapted to the
+// MEE): the defender periodically samples MEE activity counters and flags
+// sustained, active, miss-heavy phases. A covert channel cannot avoid this
+// signature — every transmitted '1' forces versions-level misses — but the
+// bench shows the classic weakness too: an innocent co-tenant streaming
+// fresh integrity-tree data (the Fig. 8 noise workload!) raises the same
+// flag, so the detector trades false positives for coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/testbed.h"
+#include "common/types.h"
+
+namespace meecc::channel {
+
+struct DetectorConfig {
+  Cycles epoch = 100000;                ///< counter sampling period
+  double miss_ratio_threshold = 0.30;   ///< non-versions walk stops / reads
+  std::uint64_t min_reads_per_epoch = 8;  ///< ignore idle epochs
+  int consecutive_epochs = 3;          ///< sustained anomaly before flagging
+  /// Second rule: share of MEE-cache conflict evictions concentrated in the
+  /// hottest few sets. Streaming workloads spread evictions over all 128
+  /// sets; an eviction-set channel hammers the contested versions set plus
+  /// the handful of tree-node sets its reload walks touch.
+  double eviction_concentration_threshold = 0.6;
+  std::size_t concentration_top_sets = 4;
+  std::uint64_t min_evictions_per_epoch = 4;
+};
+
+struct DetectorReport {
+  bool flagged = false;
+  bool flagged_by_miss_ratio = false;
+  bool flagged_by_concentration = false;
+  Cycles first_flag_time = 0;
+  std::size_t epochs = 0;
+  std::size_t suspicious_epochs = 0;
+  std::vector<double> miss_ratio_series;  ///< one entry per active epoch
+};
+
+/// Samples the MEE's counters while other agents run. start() arms the
+/// sampler; the report is valid after stop() (or keeps accumulating until
+/// then). One Detector per TestBed lifetime.
+class Detector {
+ public:
+  Detector(TestBed& bed, const DetectorConfig& config);
+
+  /// Spawns the sampling process (no memory traffic — models an OS reading
+  /// hardware counters out of band).
+  void start();
+
+  /// Stops sampling at the next epoch boundary and returns the report.
+  DetectorReport stop();
+
+  const DetectorReport& report() const { return report_; }
+
+ private:
+  TestBed& bed_;
+  DetectorConfig config_;
+  DetectorReport report_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  bool started_ = false;
+};
+
+}  // namespace meecc::channel

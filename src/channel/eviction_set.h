@@ -1,0 +1,54 @@
+// Algorithm 1 (paper §4.2): recovering an eviction address set — and with it
+// the MEE cache associativity — using only timing.
+//
+// Phase 1 greedily grows the *index address set*: candidates whose versions
+// line can co-reside with everything collected so far. Phase 2 finds a
+// *test address* among the rejected candidates (one whose versions line the
+// index set reliably evicts). Phase 3 removes index-set members one at a
+// time: if removing a member lets the test address survive, that member is
+// part of the eviction set. |eviction set| = cache associativity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/candidates.h"
+#include "channel/testbed.h"
+#include "common/types.h"
+
+namespace meecc::channel {
+
+struct EvictionSetConfig {
+  std::uint32_t offset_unit = 1;     ///< the "agreed index" (512 B unit)
+  std::uint64_t first_page = 0;
+  std::uint64_t candidate_pages = 96;
+  int repeats = 5;            ///< measurements per decision (median taken)
+  /// Decision margin above the versions-hit baseline. The nearest miss class
+  /// (an L0 hit) sits ~65 cycles up, so the margin is centred in that gap.
+  double classifier_margin = 90.0;
+};
+
+struct EvictionSetResult {
+  std::vector<VirtAddr> eviction_set;
+  std::vector<VirtAddr> index_set;
+  VirtAddr test_address{};
+  bool found_test_address = false;
+  /// Recovered associativity = eviction_set.size().
+  std::uint32_t associativity() const {
+    return static_cast<std::uint32_t>(eviction_set.size());
+  }
+  bool done = false;
+};
+
+/// Runs Algorithm 1 on the test bed's trojan (blocking driver).
+EvictionSetResult find_eviction_set(TestBed& bed,
+                                    const EvictionSetConfig& config);
+
+/// Coroutine form for embedding into larger agents; writes *result and sets
+/// result->done when finished.
+sim::Process find_eviction_set_process(sim::Actor& actor,
+                                       const sgx::Enclave& enclave,
+                                       EvictionSetConfig config,
+                                       EvictionSetResult* result);
+
+}  // namespace meecc::channel

@@ -1,0 +1,51 @@
+// Protected-region access-latency characterisation (paper §5.1, Fig. 5).
+//
+// Strided access+flush sweeps over an enclave. Small strides (64 B, 512 B)
+// keep spatial locality in the versions level → versions/L0 hits; larger
+// strides walk progressively higher before hitting: 4 KB → mostly L1,
+// 32 KB → mostly L2, 256 KB → root. The histogram peaks ~65 cycles apart,
+// with the versions-hit ↔ full-walk gap ≥ ~260 cycles — the margin the
+// covert channel decodes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "channel/testbed.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace meecc::channel {
+
+struct LatencySurveyConfig {
+  std::vector<std::uint64_t> strides = {64, 512, 4096, 32768, 262144};
+  int samples_per_stride = 2500;
+  Cycles gap = 150;
+  double hist_lo = 350;
+  double hist_hi = 950;
+  std::size_t hist_bins = 120;
+};
+
+struct StrideSeries {
+  std::uint64_t stride = 0;
+  Histogram histogram{350, 950, 120};
+  /// Ground-truth verification stop level per access (simulator-only view).
+  std::array<std::uint64_t, 5> stop_counts{};
+  RunningStats latency;
+};
+
+struct LatencySurveyResult {
+  std::vector<StrideSeries> series;
+  /// Latency statistics grouped by ground-truth stop level (all strides).
+  std::array<RunningStats, 5> per_level;
+  bool done = false;
+};
+
+/// Runs the survey on the test bed's trojan enclave (size it generously —
+/// the 256 KB stride needs many distinct L2 nodes to reach the root).
+LatencySurveyResult run_latency_survey(TestBed& bed,
+                                       const LatencySurveyConfig& config);
+
+}  // namespace meecc::channel

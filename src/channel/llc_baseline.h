@@ -1,0 +1,43 @@
+// Classic LLC Prime+Probe covert channel (Liu et al. [7], Maurice et al.
+// [9]) on the same simulated machine — the comparison point the paper cites.
+// It runs OUTSIDE enclaves: hugepage-grade physical knowledge is modelled by
+// constructing the eviction set from ground truth, native rdtsc is legal,
+// and the signal (LLC hit ≈ 4–44 cycles vs DRAM ≈ 330) is far larger than
+// the MEE channel's — which is why LLC channels hit higher bit rates, and
+// why defenses target them first (paper §5.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/testbed.h"
+#include "common/types.h"
+
+namespace meecc::channel {
+
+struct LlcChannelConfig {
+  Cycles window = 2500;
+  /// Per-line decode threshold: an LLC hit costs ≤ ~44 cycles + timer
+  /// overhead, a DRAM refetch ≥ ~280 — any probed line above this means the
+  /// trojan evicted something. (Same-LLC-set lines necessarily share an
+  /// L1/L2 set too, so aggregate probe timing is noisy; per-line rdtsc
+  /// timing is how the LLC attacks the paper cites [7][9] decode.)
+  Cycles per_line_miss_threshold = 200;
+  Cycles probe_phase_back = 1200;
+  Cycles sync_jitter = 20;
+};
+
+struct LlcChannelResult {
+  std::vector<std::uint8_t> sent;
+  std::vector<std::uint8_t> received;
+  std::vector<double> probe_times;
+  std::size_t bit_errors = 0;
+  double error_rate = 0.0;
+  double kilobytes_per_second = 0.0;
+  std::size_t eviction_set_size = 0;
+};
+
+LlcChannelResult run_llc_baseline(TestBed& bed, const LlcChannelConfig& config,
+                                  const std::vector<std::uint8_t>& payload);
+
+}  // namespace meecc::channel

@@ -1,0 +1,40 @@
+// §5.5 mitigation ablation: way-partitioning the MEE cache by requesting
+// core, CATalyst-style [8], and what it costs.
+//
+// Partitioned fills confine each core's tree lines to its own ways, so the
+// trojan can no longer evict the spy's versions line — the direct channel
+// dies. But the paper's caveat stands: the integrity tree itself is SHARED
+// state. Partitioning cannot attribute a tree line to a tenant (upper-level
+// nodes cover many enclaves' pages), halving effective associativity for
+// everyone and leaving cross-partition hit/miss observability on shared
+// nodes (a residual, lower-bandwidth side channel we quantify in the bench).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "channel/testbed.h"
+#include "common/types.h"
+#include "mee/engine.h"
+
+namespace meecc::channel {
+
+/// Way mask giving even cores the low half and odd cores the high half of
+/// the MEE cache's ways.
+mee::MeePartitionFn make_way_partition(std::uint32_t ways);
+
+struct LegitWorkloadStats {
+  std::array<std::uint64_t, 5> stops{};   ///< walk stop level counts
+  double versions_hit_rate = 0.0;
+  double mean_protected_latency = 0.0;    ///< end-to-end cycles per access
+};
+
+/// Measures MEE behaviour for a well-behaved enclave workload: random
+/// accesses over a `reuse_bytes` working set of the spy enclave. A 256 KB
+/// set holds exactly 8 versions lines per cache set — it fits an 8-way MEE
+/// cache and thrashes a way-partitioned half.
+LegitWorkloadStats measure_legit_workload(TestBed& bed,
+                                          std::uint64_t reuse_bytes,
+                                          int samples);
+
+}  // namespace meecc::channel

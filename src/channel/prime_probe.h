@@ -1,0 +1,50 @@
+// Classic Prime+Probe transplanted onto the MEE cache (paper §5.2, Fig. 6a)
+// — the baseline this paper's protocol replaces, shown here to FAIL.
+//
+// Roles as in LLC P+P: the SPY owns the eviction set, primes all 8 ways,
+// and probes all 8 each window; the TROJAN touches a single conflicting
+// address to send '1'. The probe costs 8 protected accesses (> 3500 cycles);
+// the one-miss signal (~300 cycles) drowns in the 8×-amplified common-mode
+// DRAM drift plus jitter, so the decoded stream is near-random.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/eviction_set.h"
+#include "channel/testbed.h"
+#include "common/types.h"
+
+namespace meecc::channel {
+
+struct PrimeProbeConfig {
+  Cycles window = 15000;
+  std::uint32_t offset_unit = 1;
+  EvictionSetConfig eviction;  ///< run on the SPY's enclave
+  /// Decode margin over the adaptive all-hit baseline (cycles). Set near the
+  /// one-miss delta; the experiment shows no margin works.
+  double classifier_margin = 150.0;
+  Cycles probe_phase_back = 6000;
+  Cycles sync_jitter = 40;
+  Cycles beacon_period = 25000;
+  int discovery_rounds = 8;
+
+  PrimeProbeConfig() { eviction.offset_unit = offset_unit; }
+};
+
+struct PrimeProbeResult {
+  std::vector<std::uint8_t> sent;
+  std::vector<std::uint8_t> received;
+  std::vector<double> probe_times;  ///< per bit — the Fig. 6(a) trace
+  std::size_t bit_errors = 0;
+  double error_rate = 0.0;
+  EvictionSetResult eviction;      ///< spy's set
+  VirtAddr trojan_address{};
+  bool trojan_address_found = false;
+};
+
+PrimeProbeResult run_prime_probe_baseline(TestBed& bed,
+                                          const PrimeProbeConfig& config,
+                                          const std::vector<std::uint8_t>& payload);
+
+}  // namespace meecc::channel

@@ -1,0 +1,124 @@
+#include "channel/testbed.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace meecc::channel {
+
+std::string_view to_string(NoiseEnv env) {
+  switch (env) {
+    case NoiseEnv::kNone:
+      return "no noise";
+    case NoiseEnv::kMemoryStress:
+      return "cache+memory stress";
+    case NoiseEnv::kMeeStride512:
+      return "MEE noise, 512B stride";
+    case NoiseEnv::kMeeStride4K:
+      return "MEE noise, 4KB stride";
+  }
+  return "?";
+}
+
+TestBedConfig default_testbed_config(std::uint64_t seed) {
+  TestBedConfig config;
+  config.system.seed = seed;
+  config.system.cores = 4;
+  config.system.address_map.general_size = 64ull << 20;
+  config.system.address_map.epc_size = 32ull << 20;
+  return config;
+}
+
+TestBed::TestBed(const TestBedConfig& config) : config_(config) {
+  system_ = std::make_unique<sim::System>(config_.system);
+
+  trojan_actor_ =
+      std::make_unique<sim::Actor>(*system_, CoreId{0}, CpuMode::kEnclave);
+  spy_actor_ =
+      std::make_unique<sim::Actor>(*system_, CoreId{1}, CpuMode::kEnclave);
+  noise_actor_ =
+      std::make_unique<sim::Actor>(*system_, CoreId{2}, CpuMode::kEnclave);
+  background_actor_ =
+      std::make_unique<sim::Actor>(*system_, CoreId{3}, CpuMode::kEnclave);
+
+  // EPC frames are handed out contiguously (enclave-build order), so the
+  // allocation order below fixes each enclave's alias-group coverage.
+  trojan_enclave_ = std::make_unique<sgx::Enclave>(
+      *trojan_actor_,
+      sgx::EnclaveConfig{VirtAddr{0x7000'0000'0000ULL},
+                         config_.trojan_enclave_bytes});
+  spy_enclave_ = std::make_unique<sgx::Enclave>(
+      *spy_actor_, sgx::EnclaveConfig{VirtAddr{0x7100'0000'0000ULL},
+                                      config_.spy_enclave_bytes});
+  noise_enclave_ = std::make_unique<sgx::Enclave>(
+      *noise_actor_, sgx::EnclaveConfig{VirtAddr{0x7200'0000'0000ULL},
+                                        config_.noise_enclave_bytes});
+  background_enclave_ = std::make_unique<sgx::Enclave>(
+      *background_actor_, sgx::EnclaveConfig{VirtAddr{0x7300'0000'0000ULL},
+                                             config_.background_enclave_bytes});
+  spawn_environment();
+}
+
+void TestBed::spawn_environment() {
+  if (config_.background_mean_gap > 0) {
+    scheduler().spawn(sim::background_activity(
+        *background_actor_,
+        sim::BackgroundConfig{.base = background_enclave_->base(),
+                              .bytes = background_enclave_->size(),
+                              .mean_gap = config_.background_mean_gap}));
+  }
+  if (config_.noise_autostart) start_noise();
+}
+
+void TestBed::start_noise() {
+  if (noise_started_) return;
+  noise_started_ = true;
+  // Bring the noise core's clock up to date: a freshly-started co-tenant
+  // must not generate traffic "in the past".
+  noise_actor_->busy_wait_until(scheduler().now());
+
+  switch (config_.noise) {
+    case NoiseEnv::kNone:
+      break;
+    case NoiseEnv::kMemoryStress: {
+      const VirtAddr buffer = sim::map_general_buffer(
+          *noise_actor_, VirtAddr{0x6000'0000'0000ULL}, 16ull << 20);
+      scheduler().spawn(sim::memory_stressor(
+          *noise_actor_, sim::StressorConfig{.base = buffer,
+                                             .bytes = 16ull << 20,
+                                             .gap = 120,
+                                             .flush_probability = 0.5}));
+      break;
+    }
+    case NoiseEnv::kMeeStride512:
+      scheduler().spawn(sim::mee_stride_walker(
+          *noise_actor_, sim::StrideWalkerConfig{.base = noise_enclave_->base(),
+                                                 .bytes = noise_enclave_->size(),
+                                                 .stride = 512,
+                                                 .gap = 180}));
+      break;
+    case NoiseEnv::kMeeStride4K:
+      // A 512 KB window keeps the lap short enough that the per-lap column
+      // rotation sweeps all eight versions alias families within a transfer.
+      scheduler().spawn(sim::mee_stride_walker(
+          *noise_actor_, sim::StrideWalkerConfig{.base = noise_enclave_->base(),
+                                                 .bytes = std::min<std::uint64_t>(
+                                                     noise_enclave_->size(),
+                                                     512 * 1024),
+                                                 .stride = 4096,
+                                                 .gap = 180}));
+      break;
+  }
+}
+
+void TestBed::run_until_flag(const bool& done, Cycles max_cycles) {
+  auto& scheduler = system_->scheduler();
+  while (!done) {
+    MEECC_CHECK_MSG(scheduler.step(),
+                    "scheduler drained before the experiment finished");
+    MEECC_CHECK_MSG(scheduler.now() < max_cycles,
+                    "experiment exceeded " << max_cycles << " cycles");
+  }
+}
+
+}  // namespace meecc::channel

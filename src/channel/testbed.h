@@ -1,0 +1,86 @@
+// The standard experiment rig: one simulated machine, a trojan and a spy in
+// separate enclaves on separate physical cores, a noise core and a background
+// core — the setup of paper §2.3 / §5.4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.h"
+#include "sgx/enclave.h"
+#include "sim/actor.h"
+#include "sim/noise.h"
+#include "sim/system.h"
+
+namespace meecc::channel {
+
+/// Fig. 8 noise environments.
+enum class NoiseEnv {
+  kNone,          ///< (a) only ambient background activity
+  kMemoryStress,  ///< (b) stress-ng on cache + main memory (no MEE traffic)
+  kMeeStride512,  ///< (c) co-tenant enclave walking with 512 B stride
+  kMeeStride4K,   ///< (d) co-tenant enclave walking with 4 KB stride
+};
+
+std::string_view to_string(NoiseEnv env);
+
+struct TestBedConfig {
+  sim::SystemConfig system;
+  std::uint64_t trojan_enclave_bytes = 768 * 1024;
+  std::uint64_t spy_enclave_bytes = 512 * 1024;
+  std::uint64_t noise_enclave_bytes = 4 * 1024 * 1024;
+  std::uint64_t background_enclave_bytes = 2 * 1024 * 1024;
+  /// Ambient protected-region activity (OS/SGX runtime housekeeping). The
+  /// residual error floor of the channel comes from here. 0 disables.
+  Cycles background_mean_gap = 52000;
+  NoiseEnv noise = NoiseEnv::kNone;
+  /// When false, the Fig. 8 noise agent is not spawned at construction;
+  /// call TestBed::start_noise() once channel setup is done (co-tenant load
+  /// arriving mid-communication, which is what Fig. 8 measures).
+  bool noise_autostart = true;
+};
+
+/// A TestBedConfig with a small-but-representative machine: 4 cores, 32 MB
+/// EPC, MEE cache 64 KB/8-way/128 sets, 4.2 GHz.
+TestBedConfig default_testbed_config(std::uint64_t seed = 42);
+
+class TestBed {
+ public:
+  explicit TestBed(const TestBedConfig& config);
+
+  sim::System& system() { return *system_; }
+  sim::Scheduler& scheduler() { return system_->scheduler(); }
+
+  sim::Actor& trojan() { return *trojan_actor_; }
+  sim::Actor& spy() { return *spy_actor_; }
+  sgx::Enclave& trojan_enclave() { return *trojan_enclave_; }
+  sgx::Enclave& spy_enclave() { return *spy_enclave_; }
+
+  /// Runs the scheduler until `done` becomes true. Throws CheckFailure if
+  /// the event queue drains or `max_cycles` elapse first.
+  void run_until_flag(const bool& done, Cycles max_cycles = 2'000'000'000ULL);
+
+  /// Spawns the configured Fig. 8 noise agent if it is not running yet
+  /// (no-op for NoiseEnv::kNone or if it auto-started).
+  void start_noise();
+
+  const TestBedConfig& config() const { return config_; }
+
+ private:
+  void spawn_environment();
+
+  TestBedConfig config_;
+  bool noise_started_ = false;
+  std::unique_ptr<sim::System> system_;
+  std::unique_ptr<sim::Actor> trojan_actor_;
+  std::unique_ptr<sim::Actor> spy_actor_;
+  std::unique_ptr<sim::Actor> noise_actor_;
+  std::unique_ptr<sim::Actor> background_actor_;
+  std::unique_ptr<sgx::Enclave> trojan_enclave_;
+  std::unique_ptr<sgx::Enclave> spy_enclave_;
+  std::unique_ptr<sgx::Enclave> noise_enclave_;
+  std::unique_ptr<sgx::Enclave> background_enclave_;
+};
+
+}  // namespace meecc::channel

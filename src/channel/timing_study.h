@@ -1,0 +1,35 @@
+// Timer comparison (paper §3 challenge 4, Fig. 2): what does it cost to
+// timestamp a memory access (a) natively with rdtsc, (b) via OCALL from
+// enclave mode, (c) via the hyperthread shared clock readable from enclave
+// mode? Overhead = measured latency − ground-truth latency.
+#pragma once
+
+#include "channel/testbed.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace meecc::channel {
+
+struct TimingStudyConfig {
+  int samples = 400;
+  Cycles gap = 500;
+};
+
+struct TimerSeries {
+  RunningStats measured;   ///< timer-reported access latency
+  RunningStats truth;      ///< simulator ground truth
+  RunningStats overhead;   ///< measured − truth per sample
+};
+
+struct TimingStudyResult {
+  TimerSeries native;        ///< non-enclave rdtsc (baseline, Fig. 2a)
+  TimerSeries ocall;         ///< OCALL round trip from enclave (Fig. 2b)
+  TimerSeries shared_clock;  ///< hyperthread mailbox (Fig. 2c)
+  bool rdtsc_faults_in_enclave = false;  ///< SGX v1 behaviour check
+  bool done = false;
+};
+
+TimingStudyResult run_timing_study(TestBed& bed,
+                                   const TimingStudyConfig& config);
+
+}  // namespace meecc::channel

@@ -1,0 +1,229 @@
+#include "channel/transport.h"
+
+#include "common/check.h"
+
+namespace meecc::channel {
+namespace {
+
+// Bit layout within a codeword byte: bit i = Hamming position i+1.
+// Positions 1,2,4 are parity; 3,5,6,7 carry data bits d1..d4 (MSB first).
+constexpr int kDataPositions[4] = {3, 5, 6, 7};
+
+std::uint8_t get_bit(std::uint8_t v, int position) {
+  return static_cast<std::uint8_t>((v >> (position - 1)) & 1);
+}
+
+void set_bit(std::uint8_t& v, int position, std::uint8_t bit) {
+  if (bit)
+    v = static_cast<std::uint8_t>(v | (1u << (position - 1)));
+  else
+    v = static_cast<std::uint8_t>(v & ~(1u << (position - 1)));
+}
+
+}  // namespace
+
+std::uint8_t hamming74_encode(std::uint8_t nibble) {
+  MEECC_CHECK(nibble < 16);
+  std::uint8_t code = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto bit = static_cast<std::uint8_t>((nibble >> (3 - i)) & 1);
+    set_bit(code, kDataPositions[i], bit);
+  }
+  // Parity bit at position p covers every position whose index has bit p set.
+  for (int p : {1, 2, 4}) {
+    std::uint8_t parity = 0;
+    for (int position = 1; position <= 7; ++position) {
+      if (position != p && (position & p)) parity ^= get_bit(code, position);
+    }
+    set_bit(code, p, parity);
+  }
+  return code;
+}
+
+HammingDecode hamming74_decode(std::uint8_t codeword) {
+  std::uint8_t code = codeword & 0x7f;
+  int syndrome = 0;
+  for (int p : {1, 2, 4}) {
+    std::uint8_t parity = 0;
+    for (int position = 1; position <= 7; ++position) {
+      if (position & p) parity ^= get_bit(code, position);
+    }
+    if (parity) syndrome |= p;
+  }
+  HammingDecode result;
+  if (syndrome != 0) {
+    set_bit(code, syndrome, static_cast<std::uint8_t>(!get_bit(code, syndrome)));
+    result.corrected = true;
+  }
+  for (int i = 0; i < 4; ++i) {
+    result.nibble = static_cast<std::uint8_t>(
+        (result.nibble << 1) | get_bit(code, kDataPositions[i]));
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> interleave(const std::vector<std::uint8_t>& bits,
+                                     std::size_t depth) {
+  MEECC_CHECK(depth > 0);
+  MEECC_CHECK_MSG(bits.size() % depth == 0,
+                  "interleaver needs a multiple of the depth");
+  const std::size_t width = bits.size() / depth;
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size());
+  for (std::size_t col = 0; col < width; ++col)
+    for (std::size_t row = 0; row < depth; ++row)
+      out.push_back(bits[row * width + col]);
+  return out;
+}
+
+std::vector<std::uint8_t> deinterleave(const std::vector<std::uint8_t>& bits,
+                                       std::size_t depth) {
+  MEECC_CHECK(depth > 0);
+  MEECC_CHECK(bits.size() % depth == 0);
+  const std::size_t width = bits.size() / depth;
+  std::vector<std::uint8_t> out(bits.size());
+  std::size_t i = 0;
+  for (std::size_t col = 0; col < width; ++col)
+    for (std::size_t row = 0; row < depth; ++row) out[row * width + col] = bits[i++];
+  return out;
+}
+
+std::uint16_t crc16(const std::vector<std::uint8_t>& bytes) {
+  std::uint16_t crc = 0xFFFF;
+  for (const std::uint8_t byte : bytes) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+
+void append_nibble_coded(std::vector<std::uint8_t>& bits, std::uint8_t nibble) {
+  const std::uint8_t code = hamming74_encode(nibble);
+  for (int i = 0; i < 7; ++i)
+    bits.push_back(static_cast<std::uint8_t>((code >> i) & 1));
+}
+
+void append_byte_coded(std::vector<std::uint8_t>& bits, std::uint8_t byte) {
+  append_nibble_coded(bits, static_cast<std::uint8_t>(byte >> 4));
+  append_nibble_coded(bits, static_cast<std::uint8_t>(byte & 0x0f));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const std::vector<std::uint8_t>& message,
+                                         const TransportConfig& config) {
+  MEECC_CHECK(message.size() < 0x10000);
+  MEECC_CHECK(config.repetition >= 1);
+  std::vector<std::uint8_t> bits;
+  const auto length = static_cast<std::uint16_t>(message.size());
+  append_byte_coded(bits, static_cast<std::uint8_t>(length >> 8));
+  append_byte_coded(bits, static_cast<std::uint8_t>(length & 0xff));
+  for (const std::uint8_t byte : message) append_byte_coded(bits, byte);
+  const std::uint16_t crc = crc16(message);
+  append_byte_coded(bits, static_cast<std::uint8_t>(crc >> 8));
+  append_byte_coded(bits, static_cast<std::uint8_t>(crc & 0xff));
+  while (bits.size() % config.interleave_depth != 0) bits.push_back(0);
+  auto wire = interleave(bits, config.interleave_depth);
+  if (config.repetition > 1) {
+    std::vector<std::uint8_t> repeated;
+    repeated.reserve(wire.size() * static_cast<std::size_t>(config.repetition));
+    for (const std::uint8_t bit : wire)
+      for (int r = 0; r < config.repetition; ++r) repeated.push_back(bit);
+    wire = std::move(repeated);
+  }
+  return wire;
+}
+
+std::optional<DecodedMessage> decode_message(
+    const std::vector<std::uint8_t>& bits, const TransportConfig& config) {
+  std::vector<std::uint8_t> wire = bits;
+  if (config.repetition > 1) {
+    const auto repetition = static_cast<std::size_t>(config.repetition);
+    if (wire.size() % repetition != 0) return std::nullopt;
+    std::vector<std::uint8_t> voted;
+    voted.reserve(wire.size() / repetition);
+    for (std::size_t i = 0; i < wire.size(); i += repetition) {
+      int ones = 0;
+      for (std::size_t r = 0; r < repetition; ++r) ones += wire[i + r];
+      voted.push_back(ones * 2 > static_cast<int>(repetition) ? 1 : 0);
+    }
+    wire = std::move(voted);
+  }
+  if (wire.empty() || wire.size() % config.interleave_depth != 0)
+    return std::nullopt;
+  const auto stream = deinterleave(wire, config.interleave_depth);
+
+  DecodedMessage result;
+  std::size_t cursor = 0;
+  auto take_byte = [&]() -> std::optional<std::uint8_t> {
+    if (cursor + 14 > stream.size()) return std::nullopt;
+    std::uint8_t byte = 0;
+    for (int half = 0; half < 2; ++half) {
+      std::uint8_t code = 0;
+      for (int i = 0; i < 7; ++i)
+        code = static_cast<std::uint8_t>(code | (stream[cursor++] << i));
+      const HammingDecode decoded = hamming74_decode(code);
+      if (decoded.corrected) ++result.corrected_bits;
+      byte = static_cast<std::uint8_t>((byte << 4) | decoded.nibble);
+    }
+    return byte;
+  };
+
+  const auto len_hi = take_byte();
+  const auto len_lo = take_byte();
+  if (!len_hi || !len_lo) return std::nullopt;
+  const std::size_t length = (static_cast<std::size_t>(*len_hi) << 8) | *len_lo;
+  if (cursor + (length + 2) * 14 > stream.size()) return std::nullopt;
+
+  result.payload.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto byte = take_byte();
+    if (!byte) return std::nullopt;
+    result.payload.push_back(*byte);
+  }
+  const auto crc_hi = take_byte();
+  const auto crc_lo = take_byte();
+  if (!crc_hi || !crc_lo) return std::nullopt;
+  const std::uint16_t received_crc =
+      static_cast<std::uint16_t>((*crc_hi << 8) | *crc_lo);
+  result.crc_ok = received_crc == crc16(result.payload);
+  return result;
+}
+
+ReliableTransferResult run_reliable_transfer(TestBed& bed,
+                                             const ChannelConfig& config,
+                                             const std::vector<std::uint8_t>& message,
+                                             const ChannelSetup& setup,
+                                             const TransportConfig& transport) {
+  MEECC_CHECK(transport.max_attempts >= 1);
+  ReliableTransferResult result;
+  const auto bits = encode_message(message, transport);
+
+  for (int attempt = 0; attempt < transport.max_attempts; ++attempt) {
+    ++result.attempts;
+    result.channel = transfer_covert_channel(bed, config, bits, setup);
+    result.raw_bit_errors = result.channel.bit_errors;
+
+    const auto decoded = decode_message(result.channel.received, transport);
+    if (decoded) {
+      result.corrected_bits = decoded->corrected_bits;
+      result.delivered = decoded->crc_ok && decoded->payload == message;
+      result.payload = decoded->payload;
+    }
+    if (result.delivered) break;  // ARQ: stop once the CRC verifies
+  }
+
+  result.payload_kilobytes_per_second =
+      result.channel.kilobytes_per_second *
+      (static_cast<double>(message.size()) * 8.0 /
+       static_cast<double>(bits.size())) /
+      static_cast<double>(result.attempts);
+  return result;
+}
+
+}  // namespace meecc::channel

@@ -1,0 +1,108 @@
+#include "common/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace meecc {
+namespace {
+
+std::size_t bar_len(double v, double vmax, std::size_t width) {
+  if (vmax <= 0.0 || v <= 0.0) return 0;
+  return static_cast<std::size_t>(
+      std::lround(v / vmax * static_cast<double>(width)));
+}
+
+}  // namespace
+
+std::string render_bar_chart(const std::vector<std::string>& labels,
+                             const std::vector<double>& values,
+                             std::size_t width) {
+  std::ostringstream os;
+  const std::size_t n = std::min(labels.size(), values.size());
+  double vmax = 0.0;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    vmax = std::max(vmax, values[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    os << std::setw(static_cast<int>(label_width)) << labels[i] << " |"
+       << std::string(bar_len(values[i], vmax, width), '#') << ' '
+       << std::setprecision(6) << values[i] << '\n';
+  }
+  return os.str();
+}
+
+std::string render_histogram(const Histogram& h, std::size_t width) {
+  std::size_t first = h.bin_count();
+  std::size_t last = 0;
+  std::size_t vmax = 0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    if (h.bin_value(i) > 0) {
+      first = std::min(first, i);
+      last = i;
+      vmax = std::max(vmax, h.bin_value(i));
+    }
+  }
+  std::ostringstream os;
+  if (first == h.bin_count()) {
+    os << "(empty histogram)\n";
+    return os.str();
+  }
+  for (std::size_t i = first; i <= last; ++i) {
+    os << std::setw(8) << static_cast<long long>(h.bin_lo(i)) << "-"
+       << std::setw(6) << static_cast<long long>(h.bin_hi(i)) << " |"
+       << std::string(
+              bar_len(static_cast<double>(h.bin_value(i)),
+                      static_cast<double>(vmax), width),
+              '#')
+       << ' ' << h.bin_value(i) << '\n';
+  }
+  if (h.underflow() > 0) os << "  (underflow: " << h.underflow() << ")\n";
+  if (h.overflow() > 0) os << "  (overflow: " << h.overflow() << ")\n";
+  return os.str();
+}
+
+std::string render_series(const std::vector<double>& ys, std::size_t height,
+                          std::size_t width) {
+  std::ostringstream os;
+  if (ys.empty() || height == 0) return "(empty series)\n";
+  double lo = ys[0];
+  double hi = ys[0];
+  for (double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  const std::size_t n = ys.size();
+  const std::size_t cols = std::min(width, n);
+  // Column c aggregates samples [c*n/cols, (c+1)*n/cols) by their mean.
+  std::vector<double> col_val(cols, 0.0);
+  std::vector<std::size_t> col_cnt(cols, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i * cols / n;
+    col_val[c] += ys[i];
+    ++col_cnt[c];
+  }
+  std::vector<std::size_t> rows(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double v = col_cnt[c] ? col_val[c] / static_cast<double>(col_cnt[c])
+                                : lo;
+    auto r = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                      static_cast<double>(height - 1));
+    rows[c] = std::min(r, height - 1);
+  }
+  for (std::size_t r = height; r-- > 0;) {
+    const double row_value = lo + (hi - lo) * static_cast<double>(r) /
+                                      static_cast<double>(height - 1);
+    os << std::setw(8) << static_cast<long long>(row_value) << " |";
+    for (std::size_t c = 0; c < cols; ++c) os << (rows[c] == r ? '*' : ' ');
+    os << '\n';
+  }
+  os << std::string(10, ' ') << std::string(cols, '-') << '\n';
+  return os.str();
+}
+
+}  // namespace meecc

@@ -1,0 +1,27 @@
+// ASCII chart rendering so each bench binary can print the figure it
+// regenerates directly to the terminal (alongside machine-readable rows).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace meecc {
+
+/// Horizontal bar chart: one labelled row per (label, value).
+std::string render_bar_chart(const std::vector<std::string>& labels,
+                             const std::vector<double>& values,
+                             std::size_t width = 60);
+
+/// Renders a histogram as a vertical-count bar chart (one row per bin,
+/// skipping leading/trailing empty bins).
+std::string render_histogram(const Histogram& h, std::size_t width = 60);
+
+/// Scatter/series plot of y over integer x (e.g. probe time per bit index).
+/// Rows are quantized into `height` character rows.
+std::string render_series(const std::vector<double>& ys,
+                          std::size_t height = 16, std::size_t width = 100);
+
+}  // namespace meecc

@@ -1,0 +1,47 @@
+// Lightweight invariant checking for the meecc libraries.
+//
+// MEECC_CHECK is always on (simulation correctness depends on these holding;
+// the cost is negligible next to the modelled work). Failures throw
+// meecc::CheckFailure so tests can assert on them and callers can
+// distinguish programming errors from modelled faults such as MAC mismatches.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace meecc {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace meecc
+
+#define MEECC_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::meecc::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MEECC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream meecc_os_;                                    \
+      meecc_os_ << msg;                                                \
+      ::meecc::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    meecc_os_.str());                  \
+    }                                                                  \
+  } while (0)

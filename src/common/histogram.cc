@@ -1,0 +1,68 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace meecc {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), counts_(bin_count, 0) {
+  MEECC_CHECK(hi > lo);
+  MEECC_CHECK(bin_count > 0);
+  width_ = (hi - lo) / static_cast<double>(bin_count);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  MEECC_CHECK(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + width_ / 2.0;
+}
+
+double Histogram::mode() const {
+  if (counts_.empty()) return 0.0;
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  if (*it == 0) return 0.0;
+  return bin_center(static_cast<std::size_t>(it - counts_.begin()));
+}
+
+std::vector<std::size_t> Histogram::peaks(std::size_t min_count,
+                                          std::size_t min_separation) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t c = counts_[i];
+    if (c < min_count) continue;
+    const bool left_ok = (i == 0) || counts_[i - 1] <= c;
+    const bool right_ok = (i + 1 == counts_.size()) || counts_[i + 1] < c;
+    if (!left_ok || !right_ok) continue;
+    if (!result.empty() && i - result.back() < min_separation) {
+      // Keep the taller of two nearby peaks.
+      if (counts_[result.back()] < c) result.back() = i;
+      continue;
+    }
+    result.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace meecc

@@ -1,0 +1,46 @@
+// Fixed-width-bin histogram, used for the Fig. 5 latency distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace meecc {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into bin_count equal-width bins, with underflow and
+  /// overflow buckets outside that range.
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t bin_value(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+
+  /// Center of the most populated bin (0 if empty).
+  double mode() const;
+
+  /// Indices of local maxima with at least min_count samples, separated by
+  /// at least min_separation bins — used to locate the Fig. 5 latency peaks.
+  std::vector<std::size_t> peaks(std::size_t min_count,
+                                 std::size_t min_separation) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace meecc

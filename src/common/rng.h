@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic behaviour in meecc flows through Rng so that every
+// experiment is reproducible from a single seed. xoshiro256** is used for
+// speed; seeding goes through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace meecc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double next_gaussian();
+
+  /// Gaussian with given mean and standard deviation.
+  double next_gaussian(double mean, double stddev);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent stream (for per-agent RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace meecc

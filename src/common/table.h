@@ -1,0 +1,53 @@
+// Simple aligned text table + CSV emission for bench/figure outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace meecc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary streamable cells.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  /// Render with aligned columns.
+  std::string to_text() const;
+  /// Render as CSV (no quoting — callers keep cells comma-free).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace meecc
+
+#include <sstream>
+
+namespace meecc {
+
+template <typename T>
+std::string Table::format_cell(const T& v) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(v);
+  } else {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+}
+
+}  // namespace meecc

@@ -1,0 +1,89 @@
+// Fundamental domain types shared by every meecc library.
+//
+// Virtual and physical addresses are distinct strong types so that the
+// compiler rejects the classic simulator bug of indexing a physically-indexed
+// structure with a virtual address. Cycle counts are a plain integer alias:
+// they are pervasive in arithmetic and a strong type buys little there.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+
+namespace meecc {
+
+/// Simulated clock cycles (one core clock tick).
+using Cycles = std::uint64_t;
+
+/// Signed cycle arithmetic, for phase errors and drift.
+using CyclesDelta = std::int64_t;
+
+inline constexpr std::size_t kLineSize = 64;       ///< cache line bytes
+inline constexpr std::size_t kPageSize = 4096;     ///< 4 KB page (SGX has no hugepages)
+inline constexpr std::size_t kChunkSize = 512;     ///< bytes covered by one versions line
+inline constexpr std::size_t kLinesPerPage = kPageSize / kLineSize;
+inline constexpr std::size_t kChunksPerPage = kPageSize / kChunkSize;
+
+namespace detail {
+
+/// CRTP strong integer wrapper for address-like quantities.
+template <typename Tag>
+struct StrongAddr {
+  std::uint64_t raw = 0;
+
+  constexpr StrongAddr() = default;
+  constexpr explicit StrongAddr(std::uint64_t v) : raw(v) {}
+
+  constexpr auto operator<=>(const StrongAddr&) const = default;
+
+  constexpr StrongAddr operator+(std::uint64_t off) const {
+    return StrongAddr{raw + off};
+  }
+  constexpr StrongAddr operator-(std::uint64_t off) const {
+    return StrongAddr{raw - off};
+  }
+  constexpr std::uint64_t operator-(StrongAddr other) const {
+    return raw - other.raw;
+  }
+  StrongAddr& operator+=(std::uint64_t off) {
+    raw += off;
+    return *this;
+  }
+
+  /// Byte offset within the containing cache line.
+  constexpr std::uint64_t line_offset() const { return raw % kLineSize; }
+  /// Address of the containing cache line's first byte.
+  constexpr StrongAddr line_base() const {
+    return StrongAddr{raw - raw % kLineSize};
+  }
+  /// Global index of the containing cache line.
+  constexpr std::uint64_t line_index() const { return raw / kLineSize; }
+  /// Address of the containing page's first byte.
+  constexpr StrongAddr page_base() const {
+    return StrongAddr{raw - raw % kPageSize};
+  }
+  constexpr std::uint64_t page_offset() const { return raw % kPageSize; }
+  constexpr std::uint64_t page_number() const { return raw / kPageSize; }
+};
+
+}  // namespace detail
+
+struct VirtTag {};
+struct PhysTag {};
+
+/// Virtual address inside a simulated process / enclave address space.
+using VirtAddr = detail::StrongAddr<VirtTag>;
+/// Physical (DRAM or on-die SRAM) address.
+using PhysAddr = detail::StrongAddr<PhysTag>;
+
+/// Identifies a simulated core.
+struct CoreId {
+  unsigned value = 0;
+  constexpr auto operator<=>(const CoreId&) const = default;
+};
+
+/// CPU execution mode: SGX enclave mode restricts the ISA surface
+/// (no rdtsc, no access to other enclaves' protected memory).
+enum class CpuMode { kNonEnclave, kEnclave };
+
+}  // namespace meecc

@@ -1,0 +1,36 @@
+#include "crypto/line_cipher.h"
+
+#include <cstring>
+
+namespace meecc::crypto {
+
+LineCipher::LineCipher(const Key128& key) : aes_(key) {}
+
+LineData LineCipher::keystream(std::uint64_t address,
+                               std::uint64_t version) const {
+  LineData ks{};
+  for (std::uint32_t block = 0; block < 4; ++block) {
+    Block counter{};
+    std::memcpy(counter.data(), &address, 8);
+    std::uint64_t v = (version << 8) | block;  // version ‖ block index
+    std::memcpy(counter.data() + 8, &v, 8);
+    const Block out = aes_.encrypt(counter);
+    std::memcpy(ks.data() + 16 * block, out.data(), 16);
+  }
+  return ks;
+}
+
+LineData LineCipher::encrypt(const LineData& plaintext, std::uint64_t address,
+                             std::uint64_t version) const {
+  const LineData ks = keystream(address, version);
+  LineData out;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = plaintext[i] ^ ks[i];
+  return out;
+}
+
+LineData LineCipher::decrypt(const LineData& ciphertext, std::uint64_t address,
+                             std::uint64_t version) const {
+  return encrypt(ciphertext, address, version);  // CTR is symmetric
+}
+
+}  // namespace meecc::crypto

@@ -1,0 +1,37 @@
+// AES-CTR encryption of 64 B memory lines with a compound nonce, modelled on
+// the MEE's confidentiality mode (Gueron, 2016): the keystream depends on the
+// line's physical address and its current version counter, so rewriting the
+// same plaintext at the same address with a bumped version yields fresh
+// ciphertext (freshness), and moving ciphertext between addresses breaks
+// decryption (spatial binding).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/aes128.h"
+
+namespace meecc::crypto {
+
+using LineData = std::array<std::uint8_t, 64>;
+
+class LineCipher {
+ public:
+  explicit LineCipher(const Key128& key);
+
+  /// Encrypts one 64 B line. `address` is the line's physical address,
+  /// `version` the 56-bit freshness counter for the line.
+  LineData encrypt(const LineData& plaintext, std::uint64_t address,
+                   std::uint64_t version) const;
+
+  /// CTR decryption (same keystream).
+  LineData decrypt(const LineData& ciphertext, std::uint64_t address,
+                   std::uint64_t version) const;
+
+ private:
+  LineData keystream(std::uint64_t address, std::uint64_t version) const;
+
+  Aes128 aes_;
+};
+
+}  // namespace meecc::crypto

@@ -1,0 +1,68 @@
+// Carter–Wegman multilinear MAC, modelled on the construction the real MEE
+// uses (Gueron, "A Memory Encryption Engine Suitable for General Purpose
+// Processors", 2016): hardware computes an inner product of message words
+// with secret key words — fully parallelizable — and masks the result with a
+// per-(address, version) AES-derived pad, so the expensive AES runs off the
+// critical path while the data words stream in.
+//
+//   tag = truncate56( Σ_i  m_i · k_i  (mod 2^64)  +  pad(address, version) )
+//
+// where m_i are the 32-bit message words (so the 64-bit products cannot
+// overflow individually), k_i are 64-bit key words expanded from the MAC key
+// via AES-CTR, and pad = AES_K(address ‖ version) truncated.
+//
+// Security intuition (as in Wegman–Carter): the inner product is a universal
+// hash; the one-time pad per (address, version) hides it. The simulator uses
+// it interchangeably with the CBC-MAC (crypto/mac.h) via the MacScheme
+// interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "crypto/aes128.h"
+
+namespace meecc::crypto {
+
+/// Common interface for the MEE's line-authentication function.
+class MacScheme {
+ public:
+  virtual ~MacScheme() = default;
+
+  /// 56-bit tag over (address, version, data); data length must be a
+  /// multiple of 16 bytes.
+  virtual std::uint64_t tag(std::uint64_t address, std::uint64_t version,
+                            std::span<const std::uint8_t> data) const = 0;
+
+  bool verify(std::uint64_t address, std::uint64_t version,
+              std::span<const std::uint8_t> data,
+              std::uint64_t expected_tag) const;
+};
+
+enum class MacKind {
+  kCbcMac,       ///< CBC-MAC construction (crypto/mac.h)
+  kMultilinear,  ///< Gueron-style Carter–Wegman multilinear MAC
+};
+
+class MultilinearMac final : public MacScheme {
+ public:
+  /// `max_data_bytes` bounds the message length (key words are expanded
+  /// once); the MEE authenticates single 64 B lines.
+  explicit MultilinearMac(const Key128& key, std::size_t max_data_bytes = 64);
+
+  std::uint64_t tag(std::uint64_t address, std::uint64_t version,
+                    std::span<const std::uint8_t> data) const override;
+
+ private:
+  std::uint64_t pad(std::uint64_t address, std::uint64_t version) const;
+
+  Aes128 aes_;
+  std::vector<std::uint64_t> key_words_;  // one 64-bit word per 32-bit m_i
+};
+
+/// Factory used by the MEE engine.
+std::unique_ptr<MacScheme> make_mac_scheme(MacKind kind, const Key128& key);
+
+}  // namespace meecc::crypto

@@ -1,0 +1,254 @@
+#include "mee/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace meecc::mee {
+namespace {
+
+std::string tamper_message(Level level, PhysAddr addr) {
+  std::ostringstream os;
+  os << "MEE integrity violation at " << to_string(level) << " node, paddr=0x"
+     << std::hex << addr.raw;
+  return os.str();
+}
+
+bool line_is_zero(const mem::Line& line) {
+  return std::all_of(line.begin(), line.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+constexpr std::array<Level, kDramLevels> kWalkOrder = {
+    Level::kVersions, Level::kL0, Level::kL1, Level::kL2};
+
+}  // namespace
+
+TamperDetected::TamperDetected(Level level, PhysAddr addr)
+    : std::runtime_error(tamper_message(level, addr)),
+      level_(level),
+      addr_(addr) {}
+
+MeeEngine::MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
+                     const MeeConfig& config, Rng rng)
+    : map_(map),
+      memory_(memory),
+      config_(config),
+      geometry_(map),
+      cache_(config.cache_geometry, config.cache_replacement, rng.fork()),
+      cipher_(config.data_key),
+      mac_(crypto::make_mac_scheme(config.mac_kind, config.mac_key)),
+      root_counters_(geometry_.root_entries(), 0),
+      rng_(rng) {}
+
+cache::WayMask MeeEngine::mask_for(CoreId core) const {
+  return partition_ ? partition_(core) : cache::kAllWays;
+}
+
+std::uint64_t MeeEngine::parent_counter(Level level, std::uint64_t chunk) const {
+  if (level == Level::kL2) {
+    return root_counters_.at(geometry_.node_index(Level::kL2, chunk));
+  }
+  const auto parent_level = static_cast<Level>(static_cast<int>(level) + 1);
+  const TreeNode parent =
+      decode_node(memory_.read_line(geometry_.node_addr(parent_level, chunk)));
+  return parent.counters[geometry_.slot_in_parent(level, chunk)];
+}
+
+void MeeEngine::verify_node(Level level, std::uint64_t chunk) const {
+  if (!config_.functional_crypto) return;
+  const PhysAddr addr = geometry_.node_addr(level, chunk);
+  const TreeNode node = decode_node(memory_.read_line(addr));
+  const std::uint64_t parent = parent_counter(level, chunk);
+  if (node.is_genesis()) {
+    if (parent != 0) throw TamperDetected(level, addr);
+    return;
+  }
+  const auto payload = counter_payload(node);
+  if (!mac_->verify(addr.raw, parent, payload, node.mac))
+    throw TamperDetected(level, addr);
+}
+
+MeeEngine::WalkResult MeeEngine::walk_and_verify(CoreId core,
+                                                 std::uint64_t chunk) {
+  WalkResult result;
+  for (Level level : kWalkOrder) {
+    const PhysAddr addr = geometry_.node_addr(level, chunk);
+    if (cache_.lookup(addr)) {
+      result.stop_level = level;
+      break;
+    }
+    result.fetched.push_back(level);
+  }
+  if (result.fetched.size() == kDramLevels) result.stop_level = Level::kRoot;
+
+  // Verify top-down: each node's MAC key (the parent counter) is trusted by
+  // the time we check it — either the parent was a cache hit / the root, or
+  // it was verified in an earlier iteration of this loop.
+  for (auto it = result.fetched.rbegin(); it != result.fetched.rend(); ++it)
+    verify_node(*it, chunk);
+
+  // Install the now-verified nodes, top-down so the versions line ends up
+  // most recently used (it is re-checked on every subsequent access).
+  const cache::WayMask mask = mask_for(core);
+  for (auto it = result.fetched.rbegin(); it != result.fetched.rend(); ++it)
+    cache_.fill(geometry_.node_addr(*it, chunk), mask);
+
+  return result;
+}
+
+Cycles MeeEngine::walk_latency(std::uint32_t nodes_fetched) {
+  double extra = static_cast<double>(config_.latency.versions_hit_extra);
+  if (nodes_fetched > 0) {
+    extra += static_cast<double>(config_.latency.versions_miss_serialization);
+    extra += static_cast<double>(config_.latency.per_level_step) *
+             (nodes_fetched - 1);
+  }
+  extra += rng_.next_gaussian(0.0, config_.latency.step_jitter_stddev);
+  return static_cast<Cycles>(std::llround(std::max(extra, 1.0)));
+}
+
+Cycles MeeEngine::occupy_engine(Cycles now, std::uint32_t nodes_fetched) {
+  const Cycles service =
+      config_.latency.service_base +
+      config_.latency.service_per_node * nodes_fetched;
+  if (now == kArriveWhenIdle) {
+    busy_until_ += service;  // serialized caller: never waits
+    return 0;
+  }
+  const Cycles wait = busy_until_ > now ? busy_until_ - now : 0;
+  busy_until_ = now + wait + service;
+  return wait;
+}
+
+MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
+                                     mem::Line* out, Cycles now) {
+  MEECC_CHECK(map_.classify(data_addr) == mem::RegionKind::kProtectedData);
+  ++stats_.reads;
+  const std::uint64_t chunk = geometry_.chunk_of(data_addr);
+  const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
+  const PhysAddr line_addr = data_addr.line_base();
+
+  const WalkResult walk = walk_and_verify(core, chunk);
+  stats_.stops[static_cast<std::size_t>(walk.stop_level)]++;
+
+  // PD_Tag line: fetched alongside the versions line (even/odd set pair);
+  // its DRAM fetch overlaps the data fetch, so it adds no latency class.
+  const PhysAddr tag_addr = geometry_.tag_line_addr(chunk);
+  if (cache_.lookup(tag_addr)) {
+    ++stats_.tag_hits;
+  } else {
+    ++stats_.tag_misses;
+    cache_.fill(tag_addr, mask_for(core));
+  }
+
+  if (config_.functional_crypto) {
+    const TreeNode versions =
+        decode_node(memory_.read_line(geometry_.versions_line_addr(chunk)));
+    const std::uint64_t version = versions.counters[slot];
+    const mem::Line ciphertext = memory_.read_line(line_addr);
+    const TagLine tags = decode_tags(memory_.read_line(tag_addr));
+    const std::uint64_t expected_tag = tags.tags[slot];
+
+    if (version == 0 && expected_tag == 0 && line_is_zero(ciphertext)) {
+      if (out) out->fill(0);  // genesis: never written
+    } else {
+      if (!mac_->verify(line_addr.raw, version, ciphertext, expected_tag))
+        throw TamperDetected(Level::kVersions, line_addr);
+      if (out) *out = cipher_.decrypt(ciphertext, line_addr.raw, version);
+    }
+  } else if (out) {
+    *out = memory_.read_line(line_addr);
+  }
+
+  MeeAccessResult result;
+  result.stop_level = walk.stop_level;
+  result.nodes_fetched = static_cast<std::uint32_t>(walk.fetched.size());
+  result.extra_latency = walk_latency(result.nodes_fetched) +
+                         occupy_engine(now, result.nodes_fetched);
+  return result;
+}
+
+MeeAccessResult MeeEngine::write_line(CoreId core, PhysAddr data_addr,
+                                      const mem::Line& plaintext, Cycles now) {
+  MEECC_CHECK(map_.classify(data_addr) == mem::RegionKind::kProtectedData);
+  ++stats_.writes;
+  const std::uint64_t chunk = geometry_.chunk_of(data_addr);
+  const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
+  const PhysAddr line_addr = data_addr.line_base();
+
+  // Verify the existing path before trusting any counter we will bump.
+  const WalkResult walk = walk_and_verify(core, chunk);
+  stats_.stops[static_cast<std::size_t>(walk.stop_level)]++;
+
+  if (config_.functional_crypto) {
+    // Bump the whole counter chain (eager update, write-through to root).
+    std::array<TreeNode, kDramLevels> nodes;
+    for (Level level : kWalkOrder) {
+      nodes[static_cast<std::size_t>(level)] =
+          decode_node(memory_.read_line(geometry_.node_addr(level, chunk)));
+    }
+    auto bump = [](std::uint64_t& counter) {
+      MEECC_CHECK_MSG(counter + 1 <= kCounterMask, "version counter overflow");
+      ++counter;
+    };
+    bump(nodes[0].counters[slot]);  // data line version
+    bump(nodes[1].counters[geometry_.slot_in_parent(Level::kVersions, chunk)]);
+    bump(nodes[2].counters[geometry_.slot_in_parent(Level::kL0, chunk)]);
+    bump(nodes[3].counters[geometry_.slot_in_parent(Level::kL1, chunk)]);
+    bump(root_counters_.at(geometry_.node_index(Level::kL2, chunk)));
+
+    // Re-MAC bottom-up against the freshly bumped parent counters.
+    for (Level level : kWalkOrder) {
+      auto& node = nodes[static_cast<std::size_t>(level)];
+      const PhysAddr addr = geometry_.node_addr(level, chunk);
+      std::uint64_t parent;
+      if (level == Level::kL2) {
+        parent = root_counters_.at(geometry_.node_index(Level::kL2, chunk));
+      } else {
+        parent = nodes[static_cast<std::size_t>(level) + 1]
+                     .counters[geometry_.slot_in_parent(level, chunk)];
+      }
+      node.mac = mac_->tag(addr.raw, parent, counter_payload(node));
+      memory_.write_line(addr, encode_node(node));
+    }
+
+    // Encrypt + retag the data line under the new version.
+    const std::uint64_t version = nodes[0].counters[slot];
+    const mem::Line ciphertext =
+        cipher_.encrypt(plaintext, line_addr.raw, version);
+    memory_.write_line(line_addr, ciphertext);
+
+    const PhysAddr tag_addr = geometry_.tag_line_addr(chunk);
+    TagLine tags = decode_tags(memory_.read_line(tag_addr));
+    tags.tags[slot] = mac_->tag(line_addr.raw, version, ciphertext);
+    memory_.write_line(tag_addr, encode_tags(tags));
+  } else {
+    memory_.write_line(line_addr, plaintext);
+  }
+
+  // The whole path plus the tag line is hot after a write.
+  const cache::WayMask mask = mask_for(core);
+  for (Level level : kWalkOrder) cache_.fill(geometry_.node_addr(level, chunk), mask);
+  cache_.fill(geometry_.tag_line_addr(chunk), mask);
+
+  MeeAccessResult result;
+  result.stop_level = walk.stop_level;
+  result.nodes_fetched = static_cast<std::uint32_t>(walk.fetched.size());
+  result.extra_latency = walk_latency(result.nodes_fetched) +
+                         config_.latency.write_update_extra +
+                         occupy_engine(now, result.nodes_fetched);
+  return result;
+}
+
+std::uint64_t MeeEngine::version_counter(PhysAddr data_addr) const {
+  const std::uint64_t chunk = geometry_.chunk_of(data_addr);
+  const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
+  const TreeNode versions =
+      decode_node(memory_.read_line(geometry_.versions_line_addr(chunk)));
+  return versions.counters[slot];
+}
+
+}  // namespace meecc::mee

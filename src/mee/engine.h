@@ -1,0 +1,176 @@
+// The Memory Encryption Engine model.
+//
+// Sits "inside the memory controller": every access that reaches DRAM inside
+// the protected data region goes through the engine, which
+//   1. walks the integrity tree bottom-up (versions → L0 → L1 → L2 → root),
+//      stopping at the FIRST level that hits in the MEE cache — a cached node
+//      was verified when it was brought in, so the chain of trust is complete
+//      (paper §2.2). The versions level is ALWAYS checked first, which is why
+//      the paper builds its channel on versions lines (§3 challenge 2);
+//   2. verifies the embedded MAC of every node fetched from DRAM, top-down,
+//      each keyed by its (now trusted) parent counter;
+//   3. verifies the data line's PD_Tag MAC and de/encrypts with AES-CTR under
+//      the (address, version) compound nonce;
+//   4. charges latency: a versions hit costs `versions_hit_extra` on top of
+//      the DRAM data fetch; every tree node fetched from DRAM adds
+//      `per_level_step` (partially-overlapped fetches — Fig. 5's ~65-cycle
+//      spacing between adjacent hit-level peaks).
+//
+// The MEE cache tracks which node lines are resident/verified; node contents
+// always live in simulated DRAM (the cache is a presence + recency model).
+// Consequence: tamper tests must target non-resident nodes or flush the MEE
+// cache first — same as attacking real hardware after the line aged out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/set_assoc_cache.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/line_cipher.h"
+#include "crypto/mac.h"
+#include "crypto/multilinear_mac.h"
+#include "mem/address_map.h"
+#include "mem/physical_memory.h"
+#include "mee/levels.h"
+#include "mee/node_codec.h"
+#include "mee/tree_geometry.h"
+
+namespace meecc::mee {
+
+/// Integrity or freshness violation detected during a verify walk.
+class TamperDetected : public std::runtime_error {
+ public:
+  TamperDetected(Level level, PhysAddr addr);
+
+  Level level() const { return level_; }
+  PhysAddr address() const { return addr_; }
+
+ private:
+  Level level_;
+  PhysAddr addr_;
+};
+
+struct MeeLatencyConfig {
+  Cycles versions_hit_extra = 156;  ///< MEE pipeline cost on a versions hit
+  /// Extra cost of ANY versions miss: the AES-CTR keystream needs the
+  /// version counter, so data decryption serializes behind the versions-line
+  /// DRAM fetch (mostly un-overlappable — the paper's ≥~270-cycle hit↔miss
+  /// gap, §5.1/§5.4).
+  Cycles versions_miss_serialization = 200;
+  /// Per additional tree level fetched beyond the versions line; these
+  /// overlap the MAC pipeline, so the step is smaller (Fig. 5's spacing
+  /// between the L0/L1/L2/root peaks).
+  Cycles per_level_step = 45;
+  double step_jitter_stddev = 5.0;
+  Cycles write_update_extra = 85;   ///< counter bump + re-MAC on writes
+  /// Engine occupancy per access (AES/MAC work): requests arriving while
+  /// the engine is busy queue up. A single well-spaced stream never waits;
+  /// a co-tenant hammering the MEE (Fig. 8c/d) makes everyone else's walks
+  /// stochastically slower — the "MEE cache is highly utilized" noise the
+  /// paper measures.
+  Cycles service_base = 60;
+  Cycles service_per_node = 60;
+};
+
+struct MeeConfig {
+  cache::Geometry cache_geometry = cache::mee_cache_geometry();
+  cache::ReplacementKind cache_replacement = cache::ReplacementKind::kTreePlru;
+  MeeLatencyConfig latency;
+  /// When false, skips AES/MAC computation (data stored as plaintext) for
+  /// timing-only experiments; the walk, caching and latency are identical.
+  bool functional_crypto = true;
+  /// MAC construction for tree nodes and PD_Tags. The multilinear scheme
+  /// mirrors the real MEE's Carter-Wegman design (Gueron, 2016).
+  crypto::MacKind mac_kind = crypto::MacKind::kMultilinear;
+  crypto::Key128 data_key{0x10, 0x01, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                          0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  crypto::Key128 mac_key{0x5a, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                         0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+};
+
+struct MeeAccessResult {
+  StopLevel stop_level = Level::kRoot;   ///< first MEE-cache hit level
+  std::uint32_t nodes_fetched = 0;       ///< tree nodes pulled from DRAM
+  Cycles extra_latency = 0;              ///< on top of the data DRAM fetch
+};
+
+struct MeeStats {
+  std::array<std::uint64_t, 5> stops{};  ///< indexed by StopLevel
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t tag_hits = 0;
+  std::uint64_t tag_misses = 0;
+  std::uint64_t tampers_detected = 0;
+};
+
+/// Restricts which MEE-cache ways a requester's fills may claim
+/// (way-partitioning mitigation ablation, §5.5).
+using MeePartitionFn = std::function<cache::WayMask(CoreId)>;
+
+class MeeEngine {
+ public:
+  MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
+            const MeeConfig& config, Rng rng);
+
+  /// Sentinel arrival time: "whenever the engine is free" — no queueing.
+  /// Unit tests and standalone use default to this; the full-system path
+  /// passes the simulated arrival time to model contention.
+  static constexpr Cycles kArriveWhenIdle = ~Cycles{0};
+
+  /// Read the 64 B protected line containing `data_addr`; plaintext is
+  /// written to *out when non-null. Throws TamperDetected on MAC mismatch.
+  MeeAccessResult read_line(CoreId core, PhysAddr data_addr,
+                            mem::Line* out = nullptr,
+                            Cycles now = kArriveWhenIdle);
+
+  /// Write (encrypt + re-tag + bump the counter chain to the root).
+  MeeAccessResult write_line(CoreId core, PhysAddr data_addr,
+                             const mem::Line& plaintext,
+                             Cycles now = kArriveWhenIdle);
+
+  void set_partition(MeePartitionFn fn) { partition_ = std::move(fn); }
+
+  const TreeGeometry& geometry() const { return geometry_; }
+  const cache::SetAssocCache& cache() const { return cache_; }
+  cache::SetAssocCache& mutable_cache() { return cache_; }
+  const MeeStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MeeStats{}; }
+  const MeeConfig& config() const { return config_; }
+
+  /// Current version counter of a data line (tests / diagnostics).
+  std::uint64_t version_counter(PhysAddr data_addr) const;
+
+ private:
+  struct WalkResult {
+    StopLevel stop_level = Level::kRoot;
+    std::vector<Level> fetched;  // bottom-up order, versions first
+  };
+
+  WalkResult walk_and_verify(CoreId core, std::uint64_t chunk);
+  std::uint64_t parent_counter(Level level, std::uint64_t chunk) const;
+  void verify_node(Level level, std::uint64_t chunk) const;
+  cache::WayMask mask_for(CoreId core) const;
+  Cycles walk_latency(std::uint32_t nodes_fetched);
+  /// Queueing delay for a request arriving at `now`; advances busy_until_.
+  Cycles occupy_engine(Cycles now, std::uint32_t nodes_fetched);
+
+  const mem::AddressMap& map_;
+  mem::PhysicalMemory& memory_;
+  MeeConfig config_;
+  TreeGeometry geometry_;
+  cache::SetAssocCache cache_;
+  crypto::LineCipher cipher_;
+  std::unique_ptr<crypto::MacScheme> mac_;
+  std::vector<std::uint64_t> root_counters_;
+  MeePartitionFn partition_;
+  Rng rng_;
+  MeeStats stats_;
+  Cycles busy_until_ = 0;
+};
+
+}  // namespace meecc::mee

@@ -1,0 +1,48 @@
+// Integrity-tree level identifiers.
+//
+// The tree is arity-8 over 64 B nodes (Gueron, 2016):
+//   versions line  — 8×56-bit counters, one per 64 B data line (covers 512 B)
+//   L0 line        — 8 counters, one per versions line   (covers 4 KB)
+//   L1 line        — 8 counters, one per L0 line         (covers 32 KB)
+//   L2 line        — 8 counters, one per L1 line         (covers 256 KB)
+//   root           — one counter per L2 line, in on-die SRAM (trusted)
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace meecc::mee {
+
+enum class Level : std::uint8_t {
+  kVersions = 0,
+  kL0 = 1,
+  kL1 = 2,
+  kL2 = 3,
+  kRoot = 4,
+};
+
+inline constexpr int kTreeArity = 8;
+inline constexpr int kDramLevels = 4;  // versions..L2 live in DRAM
+
+constexpr std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kVersions:
+      return "versions";
+    case Level::kL0:
+      return "L0";
+    case Level::kL1:
+      return "L1";
+    case Level::kL2:
+      return "L2";
+    case Level::kRoot:
+      return "root";
+  }
+  return "?";
+}
+
+/// Where a protected-data access's verification walk stopped: the first tree
+/// level that hit in the MEE cache (or the root). Lower stop level = fewer
+/// DRAM node fetches = lower latency; this enum IS the Fig. 5 x-axis.
+using StopLevel = Level;
+
+}  // namespace meecc::mee

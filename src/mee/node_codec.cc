@@ -1,0 +1,65 @@
+#include "mee/node_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace meecc::mee {
+namespace {
+
+std::uint64_t load56(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, 7);
+  return v & kCounterMask;
+}
+
+void store56(std::uint8_t* p, std::uint64_t v) {
+  MEECC_CHECK_MSG((v & ~kCounterMask) == 0, "56-bit field overflow");
+  std::memcpy(p, &v, 7);
+}
+
+}  // namespace
+
+bool TreeNode::is_genesis() const {
+  return mac == 0 && std::all_of(counters.begin(), counters.end(),
+                                 [](std::uint64_t c) { return c == 0; });
+}
+
+TreeNode decode_node(const mem::Line& line) {
+  TreeNode node;
+  for (int i = 0; i < kTreeArity; ++i)
+    node.counters[i] = load56(line.data() + 7 * i);
+  node.mac = load56(line.data() + 56);
+  return node;
+}
+
+mem::Line encode_node(const TreeNode& node) {
+  mem::Line line{};
+  for (int i = 0; i < kTreeArity; ++i)
+    store56(line.data() + 7 * i, node.counters[i]);
+  store56(line.data() + 56, node.mac);
+  return line;
+}
+
+TagLine decode_tags(const mem::Line& line) {
+  TagLine tags;
+  for (int i = 0; i < kTreeArity; ++i) tags.tags[i] = load56(line.data() + 7 * i);
+  return tags;
+}
+
+mem::Line encode_tags(const TagLine& tags) {
+  mem::Line line{};
+  for (int i = 0; i < kTreeArity; ++i) store56(line.data() + 7 * i, tags.tags[i]);
+  return line;
+}
+
+std::array<std::uint8_t, 64> counter_payload(const TreeNode& node) {
+  std::array<std::uint8_t, 64> payload{};
+  for (int i = 0; i < kTreeArity; ++i)
+    store56(payload.data() + 7 * i, node.counters[i]);
+  // Bytes 56..63 stay zero: the embedded MAC is not part of its own payload.
+  return payload;
+}
+
+}  // namespace meecc::mee

@@ -1,0 +1,46 @@
+// Wire format of 64 B integrity-tree node lines and PD_Tag lines.
+//
+// Tree node line (versions / L0 / L1 / L2):
+//   bytes 0..55   — 8 × 56-bit counters, little-endian, 7 bytes each
+//   bytes 56..62  — 56-bit embedded MAC (keyed by the parent's counter)
+//   byte  63      — reserved (zero)
+//
+// PD_Tag line: 8 × 56-bit MAC tags (7 bytes each), one per data line of the
+// covered chunk; byte 56..63 reserved.
+//
+// The all-zero line is the genesis state: counters zero, MAC zero. It is
+// accepted as valid iff the parent counter is also zero (lazy tree
+// initialization — real hardware initializes counters on first EPC use).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mem/physical_memory.h"
+#include "mee/levels.h"
+
+namespace meecc::mee {
+
+inline constexpr std::uint64_t kCounterMask = (1ULL << 56) - 1;
+
+struct TreeNode {
+  std::array<std::uint64_t, kTreeArity> counters{};  // 56-bit each
+  std::uint64_t mac = 0;                             // 56-bit embedded MAC
+
+  bool is_genesis() const;
+};
+
+struct TagLine {
+  std::array<std::uint64_t, kTreeArity> tags{};  // 56-bit each
+};
+
+TreeNode decode_node(const mem::Line& line);
+mem::Line encode_node(const TreeNode& node);
+
+TagLine decode_tags(const mem::Line& line);
+mem::Line encode_tags(const TagLine& tags);
+
+/// Serializes just the counters (the MAC'd payload of a node).
+std::array<std::uint8_t, 64> counter_payload(const TreeNode& node);
+
+}  // namespace meecc::mee

@@ -1,0 +1,109 @@
+#include "mee/tree_geometry.h"
+
+#include "common/check.h"
+
+namespace meecc::mee {
+
+TreeGeometry::TreeGeometry(const mem::AddressMap& map)
+    : protected_data_(map.protected_data()), metadata_(map.mee_metadata()) {
+  chunks_ = protected_data_.size / kChunkSize;
+  pages_ = protected_data_.size / kPageSize;
+  l0_lines_ = pages_;  // one L0 line per 8 versions lines = per 4 KB page
+  l1_lines_ = (l0_lines_ + kTreeArity - 1) / kTreeArity;
+  l2_lines_ = (l1_lines_ + kTreeArity - 1) / kTreeArity;
+
+  versions_tags_base_ = metadata_.base;
+  // Upper-level node lines are interleaved with spare slots (2 lines per
+  // node) and even-aligned: see the header comment for why.
+  l0_base_ = versions_tags_base_ + chunks_ * 2 * kLineSize;
+  l1_base_ = l0_base_ + l0_lines_ * 2 * kLineSize;
+  l2_base_ = l1_base_ + l1_lines_ * 2 * kLineSize;
+  const PhysAddr end = l2_base_ + l2_lines_ * 2 * kLineSize;
+  MEECC_CHECK_MSG(end.raw <= metadata_.end().raw,
+                  "metadata region too small for tree");
+  // The odd/even interleave invariant (paper §4.1) requires the metadata
+  // base to start on an even line index.
+  MEECC_CHECK(versions_tags_base_.line_index() % 2 == 0);
+}
+
+std::uint64_t TreeGeometry::chunk_of(PhysAddr data_addr) const {
+  MEECC_CHECK(protected_data_.contains(data_addr));
+  return (data_addr - protected_data_.base) / kChunkSize;
+}
+
+std::uint32_t TreeGeometry::line_in_chunk(PhysAddr data_addr) const {
+  MEECC_CHECK(protected_data_.contains(data_addr));
+  return static_cast<std::uint32_t>(
+      ((data_addr - protected_data_.base) % kChunkSize) / kLineSize);
+}
+
+PhysAddr TreeGeometry::versions_line_addr(std::uint64_t chunk) const {
+  MEECC_CHECK(chunk < chunks_);
+  // Interleaved [tag, versions] pair: versions second → odd line index.
+  return versions_tags_base_ + chunk * 2 * kLineSize + kLineSize;
+}
+
+PhysAddr TreeGeometry::tag_line_addr(std::uint64_t chunk) const {
+  MEECC_CHECK(chunk < chunks_);
+  return versions_tags_base_ + chunk * 2 * kLineSize;
+}
+
+PhysAddr TreeGeometry::l0_line_addr(std::uint64_t l0_index) const {
+  MEECC_CHECK(l0_index < l0_lines_);
+  return l0_base_ + l0_index * 2 * kLineSize;
+}
+
+PhysAddr TreeGeometry::l1_line_addr(std::uint64_t l1_index) const {
+  MEECC_CHECK(l1_index < l1_lines_);
+  return l1_base_ + l1_index * 2 * kLineSize;
+}
+
+PhysAddr TreeGeometry::l2_line_addr(std::uint64_t l2_index) const {
+  MEECC_CHECK(l2_index < l2_lines_);
+  return l2_base_ + l2_index * 2 * kLineSize;
+}
+
+std::uint64_t TreeGeometry::node_index(Level level, std::uint64_t chunk) const {
+  MEECC_CHECK(chunk < chunks_);
+  switch (level) {
+    case Level::kVersions:
+      return chunk;
+    case Level::kL0:
+      return chunk / kTreeArity;
+    case Level::kL1:
+      return chunk / (kTreeArity * kTreeArity);
+    case Level::kL2:
+      return chunk / (kTreeArity * kTreeArity * kTreeArity);
+    case Level::kRoot:
+      return chunk / (kTreeArity * kTreeArity * kTreeArity * kTreeArity);
+  }
+  MEECC_CHECK_MSG(false, "bad level");
+  return 0;
+}
+
+PhysAddr TreeGeometry::node_addr(Level level, std::uint64_t chunk) const {
+  switch (level) {
+    case Level::kVersions:
+      return versions_line_addr(chunk);
+    case Level::kL0:
+      return l0_line_addr(node_index(level, chunk));
+    case Level::kL1:
+      return l1_line_addr(node_index(level, chunk));
+    case Level::kL2:
+      return l2_line_addr(node_index(level, chunk));
+    case Level::kRoot:
+      break;
+  }
+  MEECC_CHECK_MSG(false, "root has no DRAM address");
+  return PhysAddr{};
+}
+
+std::uint32_t TreeGeometry::slot_in_parent(Level level,
+                                           std::uint64_t chunk) const {
+  // The parent of `level`'s node holds 8 counters; our node occupies slot
+  // node_index(level) % 8.
+  MEECC_CHECK(level != Level::kRoot);
+  return static_cast<std::uint32_t>(node_index(level, chunk) % kTreeArity);
+}
+
+}  // namespace meecc::mee

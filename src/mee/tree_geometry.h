@@ -1,0 +1,83 @@
+// Maps protected-data addresses to the DRAM addresses of their integrity
+// tree nodes.
+//
+// Metadata layout inside the MEE metadata region (paper §4.1):
+//   [ tag₀ ver₀ tag₁ ver₁ … ]  — PD_Tag and versions lines interleaved, so a
+//                                versions line always lands in an ODD cache
+//                                set and its PD_Tag in the EVEN set below it.
+//   [ L0 lines ][ L1 lines ][ L2 lines ]  — each upper-level node line is
+//                                interleaved with a spare/shadow slot and
+//                                EVEN-aligned, so upper-level nodes only ever
+//                                occupy EVEN cache sets.
+//
+// The even alignment of the upper levels is our inference from the paper's
+// measurements, not a published fact: Fig. 4's eviction probability
+// saturates exactly at the versions-capacity knee and Algorithm 1 recovers
+// exactly 8 ways, which is only possible if versions lines (odd sets)
+// contend almost exclusively with other versions lines — i.e. the L0/L1/L2
+// traffic that every 4 KB-stride access also generates must land elsewhere.
+//
+// One 4 KB EPC page owns 8 chunks → 8 (tag,versions) pairs = a contiguous
+// 1 KB metadata window spanning 16 consecutive set indices: the paper's
+// "consecutive versions data region" (Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "mem/address_map.h"
+#include "mee/levels.h"
+
+namespace meecc::mee {
+
+class TreeGeometry {
+ public:
+  explicit TreeGeometry(const mem::AddressMap& map);
+
+  std::uint64_t chunk_count() const { return chunks_; }
+  std::uint64_t page_count() const { return pages_; }
+  std::uint64_t l0_lines() const { return l0_lines_; }
+  std::uint64_t l1_lines() const { return l1_lines_; }
+  std::uint64_t l2_lines() const { return l2_lines_; }
+  /// Root entries (one 56-bit counter per L2 line), held in on-die SRAM.
+  std::uint64_t root_entries() const { return l2_lines_; }
+
+  /// 512 B chunk index for a protected-data address.
+  std::uint64_t chunk_of(PhysAddr data_addr) const;
+  /// Which of the chunk's 8 data lines the address falls in.
+  std::uint32_t line_in_chunk(PhysAddr data_addr) const;
+
+  PhysAddr versions_line_addr(std::uint64_t chunk) const;
+  PhysAddr tag_line_addr(std::uint64_t chunk) const;
+  PhysAddr l0_line_addr(std::uint64_t l0_index) const;  // l0_index = chunk/8
+  PhysAddr l1_line_addr(std::uint64_t l1_index) const;
+  PhysAddr l2_line_addr(std::uint64_t l2_index) const;
+
+  /// DRAM address of the `level` tree node on the verification path of
+  /// `chunk` (level must be a DRAM level, not kRoot).
+  PhysAddr node_addr(Level level, std::uint64_t chunk) const;
+
+  /// Index of the node within `level`'s node array for this chunk.
+  std::uint64_t node_index(Level level, std::uint64_t chunk) const;
+
+  /// Which counter slot (0..7) inside the PARENT of `level`'s node protects
+  /// it. For kVersions the parent is L0, …, for kL2 the parent is the root.
+  std::uint32_t slot_in_parent(Level level, std::uint64_t chunk) const;
+
+  const mem::Region& metadata_region() const { return metadata_; }
+
+ private:
+  mem::Region protected_data_;
+  mem::Region metadata_;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t pages_ = 0;
+  std::uint64_t l0_lines_ = 0;
+  std::uint64_t l1_lines_ = 0;
+  std::uint64_t l2_lines_ = 0;
+  PhysAddr versions_tags_base_;
+  PhysAddr l0_base_;
+  PhysAddr l1_base_;
+  PhysAddr l2_base_;
+};
+
+}  // namespace meecc::mee

@@ -1,0 +1,59 @@
+#include "mem/address_map.h"
+
+#include "common/check.h"
+
+namespace meecc::mem {
+
+std::uint64_t metadata_bytes_for_epc(std::uint64_t epc_size) {
+  MEECC_CHECK(epc_size % kPageSize == 0);
+  const std::uint64_t chunks = epc_size / kChunkSize;
+  const std::uint64_t pages = epc_size / kPageSize;
+  // Versions + PD_Tag lines are interleaved: 128 B of metadata per chunk.
+  std::uint64_t bytes = chunks * 2 * kLineSize;
+  // L0/L1/L2: one node line per 8 children, each interleaved with a spare
+  // slot (even set alignment — see mee/tree_geometry.h).
+  std::uint64_t level_lines = pages;
+  for (int level = 0; level < 3; ++level) {  // L0, L1, L2
+    bytes += level_lines * 2 * kLineSize;
+    level_lines = (level_lines + 7) / 8;
+  }
+  return bytes;
+}
+
+AddressMap::AddressMap(const AddressMapConfig& config) {
+  MEECC_CHECK(config.general_size % kPageSize == 0);
+  MEECC_CHECK(config.epc_size % kPageSize == 0);
+  MEECC_CHECK(config.epc_size > 0);
+
+  std::uint64_t metadata_size = config.metadata_size;
+  if (metadata_size == 0) metadata_size = metadata_bytes_for_epc(config.epc_size);
+  MEECC_CHECK(metadata_size >= metadata_bytes_for_epc(config.epc_size));
+
+  general_ = Region{PhysAddr{0}, config.general_size};
+  protected_data_ = Region{general_.end(), config.epc_size};
+  metadata_ = Region{protected_data_.end(), metadata_size};
+}
+
+RegionKind AddressMap::classify(PhysAddr a) const {
+  if (general_.contains(a)) return RegionKind::kGeneral;
+  if (protected_data_.contains(a)) return RegionKind::kProtectedData;
+  if (metadata_.contains(a)) return RegionKind::kMeeMetadata;
+  return RegionKind::kUnmapped;
+}
+
+std::uint64_t AddressMap::chunk_index(PhysAddr protected_addr) const {
+  MEECC_CHECK(protected_data_.contains(protected_addr));
+  return (protected_addr - protected_data_.base) / kChunkSize;
+}
+
+std::uint64_t AddressMap::epc_frame_index(PhysAddr protected_addr) const {
+  MEECC_CHECK(protected_data_.contains(protected_addr));
+  return (protected_addr - protected_data_.base) / kPageSize;
+}
+
+PhysAddr AddressMap::epc_frame_base(std::uint64_t index) const {
+  MEECC_CHECK(index < epc_frame_count());
+  return protected_data_.base + index * kPageSize;
+}
+
+}  // namespace meecc::mem

@@ -1,0 +1,75 @@
+// Physical address map of the simulated machine.
+//
+// Mirrors the layout SGX carves out of DRAM: a general-purpose region,
+// followed by the processor-reserved memory (PRM) holding the protected data
+// region (EPC pages) and the MEE metadata region (integrity tree storage).
+// The integrity tree root lives in on-die SRAM and is NOT part of this map —
+// the MEE owns it directly (mee/root_storage.h).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace meecc::mem {
+
+enum class RegionKind {
+  kGeneral,        ///< ordinary DRAM, no encryption
+  kProtectedData,  ///< EPC pages: encrypted + integrity protected
+  kMeeMetadata,    ///< integrity tree levels stored in DRAM
+  kUnmapped,
+};
+
+struct Region {
+  PhysAddr base;
+  std::uint64_t size = 0;
+
+  bool contains(PhysAddr a) const {
+    return a.raw >= base.raw && a.raw - base.raw < size;
+  }
+  PhysAddr end() const { return base + size; }
+};
+
+struct AddressMapConfig {
+  std::uint64_t general_size = 256ull << 20;  ///< 256 MB general DRAM
+  std::uint64_t epc_size = 32ull << 20;       ///< protected data region
+  /// DRAM bytes reserved for tree metadata (versions+tags+L0+L1+L2).
+  /// Computed by make_address_map if left 0.
+  std::uint64_t metadata_size = 0;
+};
+
+/// Bytes of in-DRAM tree metadata required for an EPC of the given size:
+/// per 512 B chunk one 64 B versions line and one 64 B PD_Tag line, plus the
+/// arity-8 counter levels L0/L1/L2 above the versions.
+std::uint64_t metadata_bytes_for_epc(std::uint64_t epc_size);
+
+class AddressMap {
+ public:
+  explicit AddressMap(const AddressMapConfig& config);
+
+  const Region& general() const { return general_; }
+  const Region& protected_data() const { return protected_data_; }
+  const Region& mee_metadata() const { return metadata_; }
+
+  RegionKind classify(PhysAddr a) const;
+
+  /// Total DRAM span (exclusive end of the last region).
+  PhysAddr dram_end() const { return metadata_.end(); }
+
+  /// Index of the 512 B chunk within the protected data region.
+  std::uint64_t chunk_index(PhysAddr protected_addr) const;
+  /// Index of the 4 KB frame within the protected data region.
+  std::uint64_t epc_frame_index(PhysAddr protected_addr) const;
+  /// Base physical address of EPC frame `index`.
+  PhysAddr epc_frame_base(std::uint64_t index) const;
+  std::uint64_t epc_frame_count() const {
+    return protected_data_.size / kPageSize;
+  }
+
+ private:
+  Region general_;
+  Region protected_data_;
+  Region metadata_;
+};
+
+}  // namespace meecc::mem

@@ -1,0 +1,39 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace meecc::mem {
+
+Dram::Dram(const DramConfig& config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+double Dram::drift_at(Cycles now) const {
+  const double t = static_cast<double>(now);
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double a =
+      std::sin(two_pi * t / static_cast<double>(config_.drift_period_a));
+  const double b =
+      std::sin(two_pi * t / static_cast<double>(config_.drift_period_b) + 1.3);
+  const double c = std::sin(
+      two_pi * t / static_cast<double>(config_.fast_wander_period) + 2.6);
+  return config_.drift_amplitude * (0.65 * a + 0.35 * b) +
+         config_.fast_wander_amplitude * c;
+}
+
+Cycles Dram::access_latency(Cycles now) {
+  ++accesses_;
+  double latency = static_cast<double>(config_.base_latency);
+  latency += drift_at(now);
+  latency += rng_.next_gaussian(0.0, config_.jitter_stddev);
+  if (rng_.chance(config_.spike_probability)) {
+    latency += static_cast<double>(rng_.next_in(
+        static_cast<std::int64_t>(config_.spike_min),
+        static_cast<std::int64_t>(config_.spike_max)));
+  }
+  latency = std::max(latency, 1.0);
+  return static_cast<Cycles>(std::llround(latency));
+}
+
+}  // namespace meecc::mem

@@ -1,0 +1,63 @@
+// DRAM service-time model.
+//
+// The covert channel lives or dies on second-order timing effects, so the
+// model is deliberately richer than a constant:
+//   latency = base + slow common-mode drift(t) + gaussian jitter + rare spikes
+//
+// * Drift models refresh phase / thermal / frequency wander. It is a smooth,
+//   deterministic function of simulated time, shared by all accesses. Drift
+//   is what sinks the Prime+Probe baseline (Fig. 6a): an 8-way probe sums the
+//   drift eight times, swamping the ~300-cycle one-miss signal, while the
+//   single-probe channel of this paper stays decodable.
+// * Spikes model refresh collisions / row-buffer conflicts / rare contention.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace meecc::mem {
+
+struct DramConfig {
+  Cycles base_latency = 280;       ///< mean end-to-end DRAM service time
+  double jitter_stddev = 12.0;     ///< per-access gaussian noise
+  double drift_amplitude = 26.0;   ///< peak slow common-mode wander (cycles)
+  Cycles drift_period_a = 20'000'000;  ///< primary wander period (~5 ms)
+  Cycles drift_period_b = 2'600'000;   ///< secondary wander period
+  /// Fast common-mode wander (controller load / refresh phasing): changes
+  /// faster than an EWMA baseline can track across timing windows, but is
+  /// near-constant within one. An 8-access probe amplifies it ×8 (±~190),
+  /// swamping Prime+Probe's one-miss signal; the single-probe channel's
+  /// decision margin absorbs the ±24.
+  double fast_wander_amplitude = 24.0;
+  Cycles fast_wander_period = 170'000;
+  /// Heavy-tail events: refresh collisions, bank conflicts, scheduler
+  /// stalls. Each DRAM access draws independently, so an 8-access
+  /// Prime+Probe burst is ~8× as exposed as the single-probe channel —
+  /// a large part of why Fig. 6(a) fails while Fig. 6(b) works.
+  double spike_probability = 0.01;
+  Cycles spike_min = 80;
+  Cycles spike_max = 300;
+};
+
+class Dram {
+ public:
+  Dram(const DramConfig& config, Rng rng);
+
+  /// Service time for one line fetch issued at simulated time `now`.
+  Cycles access_latency(Cycles now);
+
+  /// Deterministic common-mode component (exposed for tests/analysis).
+  double drift_at(Cycles now) const;
+
+  const DramConfig& config() const { return config_; }
+  std::uint64_t access_count() const { return accesses_; }
+
+ private:
+  DramConfig config_;
+  Rng rng_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace meecc::mem

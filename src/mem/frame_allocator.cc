@@ -1,0 +1,36 @@
+#include "mem/frame_allocator.h"
+
+#include "common/check.h"
+
+namespace meecc::mem {
+
+EpcAllocator::EpcAllocator(const AddressMap& map, EpcPlacement placement,
+                           Rng rng)
+    : placement_(placement) {
+  free_list_.reserve(map.epc_frame_count());
+  for (std::uint64_t i = 0; i < map.epc_frame_count(); ++i)
+    free_list_.push_back(map.epc_frame_base(i));
+  if (placement_ == EpcPlacement::kRandomized) rng.shuffle(free_list_);
+}
+
+PhysAddr EpcAllocator::allocate_frame() {
+  MEECC_CHECK_MSG(next_ < free_list_.size(), "EPC exhausted");
+  return free_list_[next_++];
+}
+
+GeneralAllocator::GeneralAllocator(const AddressMap& map)
+    : next_(map.general().base), end_(map.general().end()) {}
+
+PhysAddr GeneralAllocator::allocate_frame() {
+  MEECC_CHECK_MSG(next_.raw + kPageSize <= end_.raw,
+                  "general region exhausted");
+  const PhysAddr frame = next_;
+  next_ += kPageSize;
+  return frame;
+}
+
+std::uint64_t GeneralAllocator::frames_remaining() const {
+  return (end_ - next_) / kPageSize;
+}
+
+}  // namespace meecc::mem

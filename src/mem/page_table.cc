@@ -1,0 +1,35 @@
+#include "mem/page_table.h"
+
+#include "common/check.h"
+
+namespace meecc::mem {
+
+void VirtualAddressSpace::map_page(VirtAddr page, PhysAddr frame_base) {
+  MEECC_CHECK(page.page_offset() == 0);
+  MEECC_CHECK(frame_base.page_offset() == 0);
+  const auto [it, inserted] =
+      table_.emplace(page.page_number(), frame_base.page_number());
+  MEECC_CHECK_MSG(inserted, "virtual page 0x" << std::hex << page.raw
+                                              << " is already mapped");
+  (void)it;
+}
+
+PhysAddr VirtualAddressSpace::translate(VirtAddr addr) const {
+  const auto result = try_translate(addr);
+  MEECC_CHECK_MSG(result.has_value(),
+                  "unmapped virtual address 0x" << std::hex << addr.raw);
+  return *result;
+}
+
+std::optional<PhysAddr> VirtualAddressSpace::try_translate(
+    VirtAddr addr) const {
+  const auto it = table_.find(addr.page_number());
+  if (it == table_.end()) return std::nullopt;
+  return PhysAddr{it->second * kPageSize + addr.page_offset()};
+}
+
+bool VirtualAddressSpace::is_mapped(VirtAddr addr) const {
+  return table_.contains(addr.page_number());
+}
+
+}  // namespace meecc::mem

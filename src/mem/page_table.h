@@ -1,0 +1,37 @@
+// Per-process virtual address space with 4 KB pages.
+//
+// SGX v1 does not support hugepages inside enclaves (paper §3 challenge 3),
+// so 4 KB is the only page size — attackers can control physical addresses
+// only at 4 KB granularity, which is exactly the constraint the paper's
+// candidate-set construction works around.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace meecc::mem {
+
+class VirtualAddressSpace {
+ public:
+  /// Maps virtual page `vaddr.page_number()` to the frame holding `frame_base`.
+  /// Both must be page-aligned. Remapping an existing page is an error.
+  void map_page(VirtAddr page, PhysAddr frame_base);
+
+  /// Translates; throws CheckFailure on an unmapped page (the simulator has
+  /// no demand paging — all experiment memory is mapped up front).
+  PhysAddr translate(VirtAddr addr) const;
+
+  /// Translation that reports failure instead of throwing.
+  std::optional<PhysAddr> try_translate(VirtAddr addr) const;
+
+  bool is_mapped(VirtAddr addr) const;
+  std::size_t mapped_pages() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;  // vpn -> pfn
+};
+
+}  // namespace meecc::mem

@@ -1,0 +1,49 @@
+#include "mem/physical_memory.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace meecc::mem {
+
+Line PhysicalMemory::read_line(PhysAddr addr) const {
+  const auto it = lines_.find(addr.line_index());
+  if (it == lines_.end()) return Line{};  // zero-fill on first touch
+  return it->second;
+}
+
+void PhysicalMemory::write_line(PhysAddr addr, const Line& data) {
+  lines_[addr.line_index()] = data;
+}
+
+std::uint64_t PhysicalMemory::read_u64(PhysAddr addr) const {
+  MEECC_CHECK(addr.line_offset() + 8 <= kLineSize);
+  const Line line = read_line(addr);
+  std::uint64_t v = 0;
+  std::memcpy(&v, line.data() + addr.line_offset(), 8);
+  return v;
+}
+
+void PhysicalMemory::write_u64(PhysAddr addr, std::uint64_t value) {
+  MEECC_CHECK(addr.line_offset() + 8 <= kLineSize);
+  Line line = read_line(addr);
+  std::memcpy(line.data() + addr.line_offset(), &value, 8);
+  write_line(addr, line);
+}
+
+void PhysicalMemory::read_bytes(PhysAddr addr,
+                                std::span<std::uint8_t> out) const {
+  MEECC_CHECK(addr.line_offset() + out.size() <= kLineSize);
+  const Line line = read_line(addr);
+  std::memcpy(out.data(), line.data() + addr.line_offset(), out.size());
+}
+
+void PhysicalMemory::write_bytes(PhysAddr addr,
+                                 std::span<const std::uint8_t> in) {
+  MEECC_CHECK(addr.line_offset() + in.size() <= kLineSize);
+  Line line = read_line(addr);
+  std::memcpy(line.data() + addr.line_offset(), in.data(), in.size());
+  write_line(addr, line);
+}
+
+}  // namespace meecc::mem

@@ -1,0 +1,39 @@
+// Sparse, line-granular backing store for simulated DRAM (and, reused by the
+// MEE, for its on-die root SRAM). Unwritten lines read as zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace meecc::mem {
+
+using Line = std::array<std::uint8_t, kLineSize>;
+
+class PhysicalMemory {
+ public:
+  /// Reads the 64 B line containing `addr` (addr may be unaligned; the
+  /// containing line is returned).
+  Line read_line(PhysAddr addr) const;
+
+  /// Overwrites the 64 B line containing `addr`.
+  void write_line(PhysAddr addr, const Line& data);
+
+  /// Byte-granular accessors (may not cross a line boundary).
+  std::uint64_t read_u64(PhysAddr addr) const;
+  void write_u64(PhysAddr addr, std::uint64_t value);
+
+  void read_bytes(PhysAddr addr, std::span<std::uint8_t> out) const;
+  void write_bytes(PhysAddr addr, std::span<const std::uint8_t> in);
+
+  /// Number of lines that have ever been written (for tests / footprint).
+  std::size_t resident_lines() const { return lines_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Line> lines_;
+};
+
+}  // namespace meecc::mem

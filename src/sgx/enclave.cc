@@ -1,0 +1,30 @@
+#include "sgx/enclave.h"
+
+#include "common/check.h"
+
+namespace meecc::sgx {
+
+Enclave::Enclave(sim::Actor& owner, const EnclaveConfig& config)
+    : config_(config) {
+  MEECC_CHECK(config.base.page_offset() == 0);
+  MEECC_CHECK(config.size > 0 && config.size % kPageSize == 0);
+  auto& allocator = owner.system().epc_allocator();
+  frames_.reserve(config.size / kPageSize);
+  for (std::uint64_t off = 0; off < config.size; off += kPageSize) {
+    const PhysAddr frame = allocator.allocate_frame();
+    owner.vas().map_page(config.base + off, frame);
+    frames_.push_back(frame);
+  }
+}
+
+VirtAddr Enclave::address(std::uint64_t offset) const {
+  MEECC_CHECK(offset < config_.size);
+  return config_.base + offset;
+}
+
+PhysAddr Enclave::frame(std::uint64_t page_index) const {
+  MEECC_CHECK(page_index < frames_.size());
+  return frames_[page_index];
+}
+
+}  // namespace meecc::sgx

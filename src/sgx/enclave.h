@@ -1,0 +1,48 @@
+// Enclave: a private protected-memory region, built the way the SGX driver
+// builds one — EPC frames allocated page by page (EADD) and mapped into the
+// owning thread's virtual address space.
+//
+// SGX v1 restrictions the model enforces elsewhere:
+//  * 4 KB pages only (mem::VirtualAddressSpace has no hugepages);
+//  * rdtsc faults in enclave mode (sim::Actor::read_timer);
+//  * non-enclave code cannot read the protected region (sim::System).
+// Enclave code CAN read non-enclave memory directly — the property the
+// hyperthread shared-clock timer relies on (paper §3 challenge 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/actor.h"
+
+namespace meecc::sgx {
+
+struct EnclaveConfig {
+  VirtAddr base{0x7000'0000'0000ULL};  ///< ELRANGE start
+  std::uint64_t size = 0;              ///< bytes, multiple of 4 KB
+};
+
+class Enclave {
+ public:
+  /// Builds the enclave into `owner`'s address space, drawing frames from
+  /// the system EPC allocator (contiguous or randomized per system config).
+  Enclave(sim::Actor& owner, const EnclaveConfig& config);
+
+  VirtAddr base() const { return config_.base; }
+  std::uint64_t size() const { return config_.size; }
+  std::uint64_t page_count() const { return frames_.size(); }
+
+  /// Virtual address `offset` bytes into the enclave.
+  VirtAddr address(std::uint64_t offset) const;
+
+  /// Physical frame backing enclave page `page_index` (diagnostics/tests;
+  /// a real attacker cannot observe this).
+  PhysAddr frame(std::uint64_t page_index) const;
+
+ private:
+  EnclaveConfig config_;
+  std::vector<PhysAddr> frames_;
+};
+
+}  // namespace meecc::sgx

@@ -1,0 +1,77 @@
+#include "sim/des.h"
+
+#include "common/check.h"
+
+namespace meecc::sim {
+
+Process::~Process() {
+  // A Process still holding its handle was never spawned; destroy it here.
+  if (handle_) handle_.destroy();
+}
+
+Scheduler::~Scheduler() {
+  for (auto handle : owned_)
+    if (handle) handle.destroy();
+}
+
+void Scheduler::spawn(Process process, Cycles start) {
+  MEECC_CHECK(process.handle_);
+  auto handle = process.handle_;
+  process.handle_ = nullptr;  // ownership moves to the scheduler
+  owned_.push_back(handle);
+  enqueue(handle, start);
+}
+
+void Scheduler::enqueue(std::coroutine_handle<> handle, Cycles when) {
+  // Events never fire in the past: a stale clock is clamped to `now`.
+  queue_.push(Event{std::max(when, now_), seq_++, handle});
+}
+
+void Scheduler::raise_pending_agent_errors() {
+  for (auto handle : owned_) {
+    if (handle && handle.done()) {
+      if (auto ex = handle.promise().exception) {
+        handle.promise().exception = nullptr;
+        std::rethrow_exception(ex);
+      }
+    }
+  }
+}
+
+void Scheduler::dispatch(const Event& event) {
+  now_ = event.when;
+  event.handle.resume();
+  raise_pending_agent_errors();
+}
+
+std::uint64_t Scheduler::run_until(Cycles until) {
+  std::uint64_t dispatched = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    const Event event = queue_.top();
+    queue_.pop();
+    dispatch(event);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  const Event event = queue_.top();
+  queue_.pop();
+  dispatch(event);
+  return true;
+}
+
+std::uint64_t Scheduler::run_to_completion() {
+  std::uint64_t dispatched = 0;
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    dispatch(event);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace meecc::sim

@@ -1,0 +1,224 @@
+// Discrete-event simulation kernel on C++20 coroutines.
+//
+// Agents (trojan, spy, noise generators) are coroutines returning Process.
+// Each agent owns a local clock (sim::Actor); the scheduler always resumes
+// the agent whose next event time is globally minimal (FIFO tie-break), so
+// shared-state mutations — cache fills, MEE walks — happen in global time
+// order.
+//
+// Composition: agent logic factors into Task<T> sub-coroutines (e.g. "run one
+// eviction test"). Awaiting a Task starts it immediately (symmetric
+// transfer); when the child suspends on a memory operation it parks ITS OWN
+// handle in the scheduler, and on completion control transfers straight back
+// to the parent. Exceptions propagate parent-ward through await_resume; an
+// exception escaping a top-level Process is rethrown out of the scheduler.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meecc::sim {
+
+class Scheduler;
+
+/// State shared by every simulation promise type: the stored exception and
+/// (for awaited Tasks) the coroutine to resume on completion.
+struct PromiseBase {
+  std::exception_ptr exception;
+  std::coroutine_handle<> continuation;
+};
+
+/// Top-level agent coroutine. Fire-and-forget: ownership transfers to the
+/// Scheduler via spawn().
+class [[nodiscard]] Process {
+ public:
+  struct promise_type : PromiseBase {
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Process(Process&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process& operator=(Process&&) = delete;
+  ~Process();
+
+ private:
+  friend class Scheduler;
+  explicit Process(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+/// final_suspend awaiter that hands control back to whoever awaited us.
+struct ResumeContinuation {
+  bool await_ready() const noexcept { return false; }
+  template <typename P>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+    if (auto continuation = h.promise().continuation) return continuation;
+    return std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+/// Awaitable sub-coroutine returning T (or void). Must be co_await'ed from a
+/// Process or another Task; runs on the awaiting agent's clock.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    detail::ResumeContinuation final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  template <typename P>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<P> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;  // start the child immediately
+  }
+  T await_resume() {
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    detail::ResumeContinuation final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  template <typename P>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<P> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  /// Takes ownership of the coroutine and schedules its first step at `start`.
+  void spawn(Process process, Cycles start = 0);
+
+  /// Re-arms `handle` (any simulation coroutine) to resume once `when`
+  /// becomes the global minimum. Called by awaitables, not user code.
+  void enqueue(std::coroutine_handle<> handle, Cycles when);
+
+  /// Runs events with time <= `until`; returns events processed. Rethrows
+  /// the first exception that escaped a top-level Process.
+  std::uint64_t run_until(Cycles until);
+
+  /// Runs until no events remain.
+  std::uint64_t run_to_completion();
+
+  /// Dispatches exactly one event; returns false when none remain.
+  /// Experiment drivers use this to run "until some agent sets a flag"
+  /// without needing a horizon (noise agents run forever).
+  bool step();
+
+  /// Time of the most recently dispatched event.
+  Cycles now() const { return now_; }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Cycles when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch(const Event& event);
+  void raise_pending_agent_errors();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<Process::promise_type>> owned_;
+  Cycles now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// Awaitable that re-enters the scheduler and resumes at `when`.
+struct WakeAt {
+  Scheduler& scheduler;
+  Cycles when;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { scheduler.enqueue(h, when); }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace meecc::sim

@@ -1,0 +1,69 @@
+#include "sim/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace meecc::sim {
+
+VirtAddr map_general_buffer(Actor& actor, VirtAddr base, std::uint64_t bytes) {
+  MEECC_CHECK(base.page_offset() == 0);
+  MEECC_CHECK(bytes % kPageSize == 0);
+  auto& allocator = actor.system().general_allocator();
+  for (std::uint64_t off = 0; off < bytes; off += kPageSize)
+    actor.vas().map_page(base + off, allocator.allocate_frame());
+  return base;
+}
+
+Process memory_stressor(Actor& actor, StressorConfig config) {
+  MEECC_CHECK(config.bytes >= kLineSize);
+  const std::uint64_t lines = config.bytes / kLineSize;
+  for (;;) {
+    const VirtAddr target =
+        config.base + actor.rng().next_below(lines) * kLineSize;
+    co_await actor.read(target);
+    if (actor.rng().chance(config.flush_probability))
+      co_await actor.clflush(target);
+    co_await actor.sleep_for(config.gap);
+  }
+}
+
+Process mee_stride_walker(Actor& actor, StrideWalkerConfig config) {
+  MEECC_CHECK(config.bytes >= config.stride);
+  MEECC_CHECK(config.stride >= kLineSize);
+  std::uint64_t lap = 0;
+  std::uint64_t offset = 0;
+  for (;;) {
+    const VirtAddr target = config.base + offset;
+    co_await actor.read(target);
+    // Flush so the next lap reaches the MEE again instead of hitting in L1.
+    co_await actor.clflush(target);
+    offset += config.stride;
+    if (offset + kLineSize > config.bytes) {
+      // Shift the column by one 512 B chunk per lap so a large-stride walk
+      // sweeps every versions-line alias family over time, as a real
+      // program touching whole pages would.
+      ++lap;
+      offset = (lap * kChunkSize) % config.stride;
+    }
+    co_await actor.sleep_for(config.gap);
+  }
+}
+
+Process background_activity(Actor& actor, BackgroundConfig config) {
+  MEECC_CHECK(config.bytes >= kLineSize);
+  const std::uint64_t lines = config.bytes / kLineSize;
+  for (;;) {
+    const VirtAddr target =
+        config.base + actor.rng().next_below(lines) * kLineSize;
+    co_await actor.read(target);
+    co_await actor.clflush(target);
+    // Exponential inter-arrival times around the configured mean.
+    const double u = std::max(actor.rng().next_double(), 1e-12);
+    const auto gap = static_cast<Cycles>(
+        -std::log(u) * static_cast<double>(config.mean_gap));
+    co_await actor.sleep_for(gap);
+  }
+}
+
+}  // namespace meecc::sim

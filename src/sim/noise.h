@@ -1,0 +1,49 @@
+// Noise agents for the Fig. 8 robustness environments, plus the low-rate
+// background activity every environment carries (OS + SGX runtime enclave
+// housekeeping — the source of the channel's residual ~1–2 % error floor).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/actor.h"
+
+namespace meecc::sim {
+
+/// Maps `bytes` of fresh general-region memory into the actor's address
+/// space at `base` and returns `base` (convenience for noise buffers and
+/// non-enclave scratch memory).
+VirtAddr map_general_buffer(Actor& actor, VirtAddr base, std::uint64_t bytes);
+
+/// stress-ng-like cache/memory stressor (Fig. 8b): random reads over a
+/// general-region buffer, with occasional clflush, as fast as `gap` allows.
+/// Never touches the protected region, so the MEE cache never sees it.
+struct StressorConfig {
+  VirtAddr base;
+  std::uint64_t bytes = 0;
+  Cycles gap = 120;
+  double flush_probability = 0.5;
+};
+Process memory_stressor(Actor& actor, StressorConfig config);
+
+/// Protected-region stride walker (Fig. 8c/d): a co-tenant enclave that
+/// continuously loads fresh integrity-tree data through the MEE cache.
+/// 512 B stride churns versions lines; 4 KB stride churns versions + L0.
+struct StrideWalkerConfig {
+  VirtAddr base;
+  std::uint64_t bytes = 0;
+  std::uint64_t stride = 512;
+  Cycles gap = 400;
+};
+Process mee_stride_walker(Actor& actor, StrideWalkerConfig config);
+
+/// Sparse protected-region accesses with exponential gaps — the ambient MEE
+/// traffic present even in the "no noise" environment.
+struct BackgroundConfig {
+  VirtAddr base;
+  std::uint64_t bytes = 0;
+  Cycles mean_gap = 60000;
+};
+Process background_activity(Actor& actor, BackgroundConfig config);
+
+}  // namespace meecc::sim

@@ -1,0 +1,112 @@
+#include "sim/system.h"
+
+#include "common/check.h"
+
+namespace meecc::sim {
+
+System::System(const SystemConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      map_(config.address_map),
+      dram_(config.dram, rng_.fork()),
+      hierarchy_(config.hierarchy, config.cores, rng_.fork()),
+      mee_(std::make_unique<mee::MeeEngine>(map_, memory_, config.mee,
+                                            rng_.fork())),
+      epc_allocator_(map_, config.epc_placement, rng_.fork()),
+      general_allocator_(map_) {
+  MEECC_CHECK(config.cores > 0);
+  MEECC_CHECK(config.clock_ghz > 0.0);
+}
+
+void System::check_mode(CpuMode mode, PhysAddr paddr) const {
+  const auto kind = map_.classify(paddr);
+  MEECC_CHECK_MSG(kind != mem::RegionKind::kMeeMetadata,
+                  "software cannot address MEE metadata directly");
+  if (kind == mem::RegionKind::kProtectedData && mode != CpuMode::kEnclave) {
+    throw ModeViolation(
+        "non-enclave access to the protected data region (SGX aborts these)");
+  }
+}
+
+AccessResult System::do_read(CoreId core, CpuMode mode,
+                             const mem::VirtualAddressSpace& vas, VirtAddr addr,
+                             Cycles now) {
+  const PhysAddr paddr = vas.translate(addr);
+  check_mode(mode, paddr);
+
+  AccessResult result;
+  const auto hier = hierarchy_.access(core, paddr);
+  result.cache_level = hier.level;
+  result.latency = hier.lookup_latency;
+  if (hier.level != cache::HitLevel::kMemory) {
+    // On-chip hit: served from the CPU hierarchy, the MEE never sees it
+    // (that is why the attack needs clflush — paper §3 challenge 1).
+    result.data = memory_.read_line(paddr);
+    if (map_.classify(paddr) == mem::RegionKind::kProtectedData &&
+        mee_->config().functional_crypto) {
+      // The hierarchy holds plaintext; model that by decrypting on the fly.
+      mem::Line plain;
+      // Reading through the MEE here would disturb its cache; peek instead.
+      const std::uint64_t version = mee_->version_counter(paddr);
+      const auto chunk_line = paddr.line_base();
+      if (version == 0) {
+        plain.fill(0);
+        result.data = plain;
+      } else {
+        crypto::LineCipher cipher(mee_->config().data_key);
+        result.data =
+            cipher.decrypt(memory_.read_line(paddr), chunk_line.raw, version);
+      }
+    }
+    return result;
+  }
+
+  result.latency += dram_.access_latency(now);
+  if (map_.classify(paddr) == mem::RegionKind::kProtectedData) {
+    const auto mee_result = mee_->read_line(core, paddr, &result.data, now);
+    result.mee_level = mee_result.stop_level;
+    result.latency += mee_result.extra_latency;
+  } else {
+    result.data = memory_.read_line(paddr);
+  }
+  return result;
+}
+
+AccessResult System::do_write(CoreId core, CpuMode mode,
+                              const mem::VirtualAddressSpace& vas,
+                              VirtAddr addr, const mem::Line& data,
+                              Cycles now) {
+  const PhysAddr paddr = vas.translate(addr);
+  check_mode(mode, paddr);
+
+  AccessResult result;
+  // Write-allocate: the line is brought into the hierarchy either way; the
+  // store itself retires quickly, but for protected lines the writeback
+  // (modelled synchronously) pays the MEE update path.
+  const auto hier = hierarchy_.access(core, paddr);
+  result.cache_level = hier.level;
+  result.latency = hier.lookup_latency;
+  if (hier.level == cache::HitLevel::kMemory)
+    result.latency += dram_.access_latency(now);
+
+  if (map_.classify(paddr) == mem::RegionKind::kProtectedData) {
+    const auto mee_result = mee_->write_line(core, paddr, data, now);
+    result.mee_level = mee_result.stop_level;
+    result.latency += mee_result.extra_latency;
+  } else {
+    memory_.write_line(paddr, data);
+  }
+  result.data = data;
+  return result;
+}
+
+Cycles System::do_clflush(const mem::VirtualAddressSpace& vas, VirtAddr addr) {
+  const PhysAddr paddr = vas.translate(addr);
+  return hierarchy_.clflush(paddr);
+}
+
+double System::bytes_per_second(double bits_per_cycle) const {
+  return bits_per_cycle * config_.clock_ghz * 1e9 / 8.0;
+}
+
+}  // namespace meecc::sim

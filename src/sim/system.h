@@ -1,0 +1,99 @@
+// The simulated machine: cores × (L1,L2) + shared LLC + DRAM, with the MEE
+// in front of the protected region, plus the DES scheduler that orders all
+// agents' accesses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cache/hierarchy.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "mem/address_map.h"
+#include "mem/dram.h"
+#include "mem/frame_allocator.h"
+#include "mem/page_table.h"
+#include "mem/physical_memory.h"
+#include "mee/engine.h"
+#include "sim/des.h"
+
+namespace meecc::sim {
+
+struct SystemConfig {
+  unsigned cores = 4;  ///< i7-6700K has 4 physical cores
+  mem::AddressMapConfig address_map;
+  mem::DramConfig dram;
+  cache::HierarchyConfig hierarchy;
+  mee::MeeConfig mee;
+  mem::EpcPlacement epc_placement = mem::EpcPlacement::kContiguous;
+  double clock_ghz = 4.2;  ///< for cycles ↔ seconds (bit-rate reporting)
+  std::uint64_t seed = 42;
+};
+
+struct AccessResult {
+  Cycles latency = 0;
+  cache::HitLevel cache_level = cache::HitLevel::kMemory;
+  /// Set only when the access reached DRAM inside the protected region.
+  std::optional<mee::StopLevel> mee_level;
+  mem::Line data{};
+};
+
+/// Raised when an agent violates an SGX mode rule (rdtsc in enclave mode,
+/// non-enclave access to protected memory).
+class ModeViolation : public std::logic_error {
+ public:
+  explicit ModeViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// One data read issued by `core` in `mode` at simulated time `now`.
+  /// Mutates cache + MEE state; returns total latency and the decrypted line.
+  AccessResult do_read(CoreId core, CpuMode mode,
+                       const mem::VirtualAddressSpace& vas, VirtAddr addr,
+                       Cycles now);
+
+  AccessResult do_write(CoreId core, CpuMode mode,
+                        const mem::VirtualAddressSpace& vas, VirtAddr addr,
+                        const mem::Line& data, Cycles now);
+
+  /// clflush: evicts from the CPU hierarchy only — never from the MEE cache.
+  Cycles do_clflush(const mem::VirtualAddressSpace& vas, VirtAddr addr);
+
+  Scheduler& scheduler() { return scheduler_; }
+  const mem::AddressMap& map() const { return map_; }
+  mem::PhysicalMemory& memory() { return memory_; }
+  mem::Dram& dram() { return dram_; }
+  cache::Hierarchy& hierarchy() { return hierarchy_; }
+  mee::MeeEngine& mee() { return *mee_; }
+  mem::EpcAllocator& epc_allocator() { return epc_allocator_; }
+  mem::GeneralAllocator& general_allocator() { return general_allocator_; }
+  const SystemConfig& config() const { return config_; }
+
+  /// Independent RNG stream for an agent.
+  Rng fork_rng() { return rng_.fork(); }
+
+  double bytes_per_second(double bits_per_cycle) const;
+
+ private:
+  void check_mode(CpuMode mode, PhysAddr paddr) const;
+
+  SystemConfig config_;
+  Rng rng_;
+  mem::AddressMap map_;
+  mem::PhysicalMemory memory_;
+  mem::Dram dram_;
+  cache::Hierarchy hierarchy_;
+  std::unique_ptr<mee::MeeEngine> mee_;
+  mem::EpcAllocator epc_allocator_;
+  mem::GeneralAllocator general_allocator_;
+  Scheduler scheduler_;
+};
+
+}  // namespace meecc::sim

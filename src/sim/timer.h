@@ -1,0 +1,41 @@
+// Timer models — the three ways Fig. 2 measures time on an SGX machine.
+//
+// (a) native rdtsc: exact, cheap, but NOT executable in enclave mode (SGX v1
+//     faults it, paper §3 challenge 4);
+// (b) OCALL timer: leave the enclave, rdtsc, re-enter — 8,000–15,000 cycles
+//     of overhead per reading, useless for a ~300-cycle signal;
+// (c) hyperthread shared clock: a sibling hyperthread outside the enclave
+//     spins writing rdtsc to a non-enclave line the enclave reads directly
+//     (~50 cycles); the reading is stale by up to one writer period.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace meecc::sim {
+
+enum class TimerKind { kNativeRdtsc, kOcall, kSharedClock };
+
+struct TimerModel {
+  TimerKind kind = TimerKind::kNativeRdtsc;
+  Cycles read_cost = 24;      ///< fixed cost (native, shared-clock)
+  Cycles ocall_cost_min = 8000;
+  Cycles ocall_cost_max = 15000;
+  Cycles writer_period = 10;  ///< shared-clock staleness quantum
+};
+
+inline TimerModel native_rdtsc_timer() {
+  return TimerModel{.kind = TimerKind::kNativeRdtsc, .read_cost = 24};
+}
+
+inline TimerModel ocall_timer() {
+  return TimerModel{.kind = TimerKind::kOcall};
+}
+
+inline TimerModel shared_clock_timer() {
+  return TimerModel{
+      .kind = TimerKind::kSharedClock, .read_cost = 50, .writer_period = 10};
+}
+
+}  // namespace meecc::sim

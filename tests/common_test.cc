@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/chart.h"
+#include "common/check.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace meecc {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) { EXPECT_NO_THROW(MEECC_CHECK(1 + 1 == 2)); }
+
+TEST(Check, FailingCheckThrowsWithContext) {
+  try {
+    MEECC_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test"), std::string::npos);
+  }
+}
+
+TEST(Types, LineGeometryHelpers) {
+  const PhysAddr a{kPageSize + 3 * kLineSize + 7};
+  EXPECT_EQ(a.line_offset(), 7u);
+  EXPECT_EQ(a.line_base().raw, kPageSize + 3 * kLineSize);
+  EXPECT_EQ(a.line_index(), kPageSize / kLineSize + 3);
+  EXPECT_EQ(a.page_base().raw, kPageSize);
+  EXPECT_EQ(a.page_number(), 1u);
+  EXPECT_EQ(a.page_offset(), 3 * kLineSize + 7);
+}
+
+TEST(Types, StrongAddressArithmetic) {
+  const VirtAddr v{100};
+  EXPECT_EQ((v + 28).raw, 128u);
+  EXPECT_EQ((v + 28) - v, 28u);
+  EXPECT_LT(v, v + 1);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[rng.next_below(8)];
+  for (int count : seen) EXPECT_GT(count, 300);  // ~500 expected each
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.next_gaussian(100.0, 15.0));
+  EXPECT_NEAR(stats.mean(), 100.0, 0.5);
+  EXPECT_NEAR(stats.stddev(), 15.0, 0.5);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(77);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian(10, 3);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Histogram, BinningAndBounds) {
+  Histogram h(0, 100, 10);
+  h.add(-1);    // underflow
+  h.add(0);     // bin 0
+  h.add(9.99);  // bin 0
+  h.add(10);    // bin 1
+  h.add(99.9);  // bin 9
+  h.add(100);   // overflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_value(0), 2u);
+  EXPECT_EQ(h.bin_value(1), 1u);
+  EXPECT_EQ(h.bin_value(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 20.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 15.0);
+}
+
+TEST(Histogram, ModeFindsTallestBin) {
+  Histogram h(0, 100, 10);
+  for (int i = 0; i < 5; ++i) h.add(42);
+  h.add(7);
+  EXPECT_DOUBLE_EQ(h.mode(), 45.0);
+}
+
+TEST(Histogram, PeaksSeparatedAndThresholded) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 50; ++i) h.add(20.5);
+  for (int i = 0; i < 30; ++i) h.add(60.5);
+  for (int i = 0; i < 2; ++i) h.add(80.5);  // below min_count
+  const auto peaks = h.peaks(/*min_count=*/10, /*min_separation=*/5);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 20u);
+  EXPECT_EQ(peaks[1], 60u);
+}
+
+TEST(Histogram, NearbyPeaksKeepTaller) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 5; ++i) h.add(2.5);
+  for (int i = 0; i < 9; ++i) h.add(4.5);
+  const auto peaks = h.peaks(1, 5);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 4u);
+}
+
+TEST(Table, AlignedTextAndCsv) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22.5);
+  EXPECT_EQ(t.row_count(), 2u);
+  const auto text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22.5"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,22.5\n");
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Chart, BarChartRendersAllLabels) {
+  const auto out = render_bar_chart({"x", "yy"}, {1.0, 2.0}, 20);
+  EXPECT_NE(out.find("x |"), std::string::npos);
+  EXPECT_NE(out.find("yy |"), std::string::npos);
+}
+
+TEST(Chart, HistogramRenderSkipsEmptyEdges) {
+  Histogram h(0, 100, 10);
+  h.add(55);
+  const auto out = render_histogram(h);
+  EXPECT_NE(out.find("50"), std::string::npos);
+  EXPECT_EQ(out.find("      0-"), std::string::npos);
+}
+
+TEST(Chart, SeriesHandlesEmptyAndFlat) {
+  EXPECT_NE(render_series({}), "");
+  const auto flat = render_series({5, 5, 5}, 4, 10);
+  EXPECT_NE(flat.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace meecc

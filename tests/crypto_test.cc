@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "crypto/line_cipher.h"
+#include "crypto/mac.h"
+
+namespace meecc::crypto {
+namespace {
+
+Block hex_block(const char (&hex)[33]) {
+  Block b{};
+  for (int i = 0; i < 16; ++i) {
+    auto nibble = [&](char c) -> std::uint8_t {
+      if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+      return static_cast<std::uint8_t>(c - 'a' + 10);
+    };
+    b[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                     nibble(hex[2 * i + 1]));
+  }
+  return b;
+}
+
+// FIPS-197 Appendix B / C.1 vectors.
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128 aes(hex_block("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block pt = hex_block("3243f6a8885a308d313198a2e0370734");
+  const Block expect = hex_block("3925841d02dc09fbdc118597196a0b32");
+  EXPECT_EQ(aes.encrypt(pt), expect);
+}
+
+TEST(Aes128, Fips197AppendixC1) {
+  const Aes128 aes(hex_block("000102030405060708090a0b0c0d0e0f"));
+  const Block pt = hex_block("00112233445566778899aabbccddeeff");
+  const Block expect = hex_block("69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes.encrypt(pt), expect);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  const Aes128 aes(hex_block("000102030405060708090a0b0c0d0e0f"));
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+  }
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertext) {
+  const Block pt{};
+  const Aes128 a(hex_block("00000000000000000000000000000000"));
+  const Aes128 b(hex_block("00000000000000000000000000000001"));
+  EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+Key128 test_key() { return hex_block("2b7e151628aed2a6abf7158809cf4f3c"); }
+
+LineData random_line(Rng& rng) {
+  LineData line{};
+  for (auto& b : line) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return line;
+}
+
+TEST(LineCipher, RoundTrip) {
+  const LineCipher cipher(test_key());
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const LineData pt = random_line(rng);
+    const std::uint64_t addr = rng.next_u64();
+    const std::uint64_t version = rng.next_below(1ull << 56);
+    const LineData ct = cipher.encrypt(pt, addr, version);
+    EXPECT_NE(ct, pt);
+    EXPECT_EQ(cipher.decrypt(ct, addr, version), pt);
+  }
+}
+
+TEST(LineCipher, FreshnessVersionChangesKeystream) {
+  const LineCipher cipher(test_key());
+  const LineData pt{};
+  const auto c1 = cipher.encrypt(pt, 0x1000, 1);
+  const auto c2 = cipher.encrypt(pt, 0x1000, 2);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(LineCipher, SpatialBindingAddressChangesKeystream) {
+  const LineCipher cipher(test_key());
+  const LineData pt{};
+  const auto c1 = cipher.encrypt(pt, 0x1000, 1);
+  const auto c2 = cipher.encrypt(pt, 0x1040, 1);
+  EXPECT_NE(c1, c2);
+  // Moving ciphertext to another address yields garbage, not the plaintext.
+  EXPECT_NE(cipher.decrypt(c1, 0x1040, 1), pt);
+}
+
+TEST(LineCipher, WrongVersionDecryptsToGarbage) {
+  const LineCipher cipher(test_key());
+  Rng rng(3);
+  const LineData pt = random_line(rng);
+  const auto ct = cipher.encrypt(pt, 0x2000, 7);
+  EXPECT_NE(cipher.decrypt(ct, 0x2000, 8), pt);
+}
+
+TEST(Mac, TagIs56Bits) {
+  const MacFunction mac(test_key());
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const LineData data = random_line(rng);
+    const auto t = mac.tag(rng.next_u64(), rng.next_below(1ull << 56), data);
+    EXPECT_EQ(t & ~kMacMask, 0u);
+  }
+}
+
+TEST(Mac, VerifyAcceptsGenuineTag) {
+  const MacFunction mac(test_key());
+  Rng rng(5);
+  const LineData data = random_line(rng);
+  const auto t = mac.tag(0xabc, 42, data);
+  EXPECT_TRUE(mac.verify(0xabc, 42, data, t));
+}
+
+TEST(Mac, AnySingleBitFlipInDataBreaksTag) {
+  const MacFunction mac(test_key());
+  Rng rng(6);
+  LineData data = random_line(rng);
+  const auto t = mac.tag(0xabc, 42, data);
+  for (int trial = 0; trial < 32; ++trial) {
+    const auto byte = rng.next_below(data.size());
+    const auto bit = rng.next_below(8);
+    data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_FALSE(mac.verify(0xabc, 42, data, t));
+    data[byte] ^= static_cast<std::uint8_t>(1u << bit);  // restore
+  }
+}
+
+TEST(Mac, ContextBindsAddressAndVersion) {
+  const MacFunction mac(test_key());
+  Rng rng(7);
+  const LineData data = random_line(rng);
+  const auto t = mac.tag(0xabc, 42, data);
+  EXPECT_FALSE(mac.verify(0xabd, 42, data, t));  // moved
+  EXPECT_FALSE(mac.verify(0xabc, 41, data, t));  // replayed old version
+}
+
+TEST(Mac, TagsDifferAcrossKeys) {
+  const MacFunction a(test_key());
+  const MacFunction b(hex_block("000102030405060708090a0b0c0d0e0f"));
+  const LineData data{};
+  EXPECT_NE(a.tag(1, 2, data), b.tag(1, 2, data));
+}
+
+TEST(Mac, RejectsNonBlockMultipleInput) {
+  const MacFunction mac(test_key());
+  std::array<std::uint8_t, 15> short_data{};
+  EXPECT_THROW((void)mac.tag(1, 2, short_data), meecc::CheckFailure);
+}
+
+}  // namespace
+}  // namespace meecc::crypto

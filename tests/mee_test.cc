@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mem/address_map.h"
+#include "mem/physical_memory.h"
+#include "mee/engine.h"
+#include "mee/levels.h"
+#include "mee/node_codec.h"
+#include "mee/tree_geometry.h"
+
+namespace meecc::mee {
+namespace {
+
+mem::AddressMapConfig small_map_config() {
+  return mem::AddressMapConfig{.general_size = 4ull << 20,
+                               .epc_size = 4ull << 20};
+}
+
+class TreeGeometryTest : public ::testing::Test {
+ protected:
+  mem::AddressMap map_{small_map_config()};
+  TreeGeometry geometry_{map_};
+};
+
+TEST_F(TreeGeometryTest, CountsMatchEpcSize) {
+  EXPECT_EQ(geometry_.chunk_count(), (4ull << 20) / 512);
+  EXPECT_EQ(geometry_.page_count(), 1024u);
+  EXPECT_EQ(geometry_.l0_lines(), 1024u);
+  EXPECT_EQ(geometry_.l1_lines(), 128u);
+  EXPECT_EQ(geometry_.l2_lines(), 16u);
+  EXPECT_EQ(geometry_.root_entries(), 16u);
+}
+
+TEST_F(TreeGeometryTest, VersionsLinesLandInOddSets) {
+  // Paper §4.1: versions lines go to odd MEE-cache sets, PD_Tags to even.
+  for (std::uint64_t chunk : {0ull, 1ull, 7ull, 100ull, 8191ull}) {
+    EXPECT_EQ(geometry_.versions_line_addr(chunk).line_index() % 2, 1u);
+    EXPECT_EQ(geometry_.tag_line_addr(chunk).line_index() % 2, 0u);
+  }
+}
+
+TEST_F(TreeGeometryTest, UpperLevelNodesLandInEvenSets) {
+  // Inferred layout (see tree_geometry.h): L0/L1/L2 nodes never contend
+  // with versions lines — they sit in even sets.
+  for (std::uint64_t i : {0ull, 1ull, 9ull, 127ull})
+    EXPECT_EQ(geometry_.l0_line_addr(i).line_index() % 2, 0u);
+  for (std::uint64_t i : {0ull, 5ull, 127ull})
+    EXPECT_EQ(geometry_.l1_line_addr(i).line_index() % 2, 0u);
+  for (std::uint64_t i : {0ull, 15ull})
+    EXPECT_EQ(geometry_.l2_line_addr(i).line_index() % 2, 0u);
+}
+
+TEST_F(TreeGeometryTest, PageOwnsContiguousMetadataWindow) {
+  // The 8 (tag,versions) pairs of one page span exactly 1 KB — Fig. 3's
+  // "consecutive versions data region".
+  const PhysAddr first = geometry_.tag_line_addr(0);
+  const PhysAddr last = geometry_.versions_line_addr(7);
+  EXPECT_EQ(last - first, 1024u - 64u);
+  // Next page's window starts right after.
+  EXPECT_EQ(geometry_.tag_line_addr(8) - first, 1024u);
+}
+
+TEST_F(TreeGeometryTest, NodeIndicesFollowArity8) {
+  const std::uint64_t chunk = 8 * 8 * 8 + 8 * 8 + 8 + 1;  // 585
+  EXPECT_EQ(geometry_.node_index(Level::kVersions, chunk), 585u);
+  EXPECT_EQ(geometry_.node_index(Level::kL0, chunk), 73u);
+  EXPECT_EQ(geometry_.node_index(Level::kL1, chunk), 9u);
+  EXPECT_EQ(geometry_.node_index(Level::kL2, chunk), 1u);
+  EXPECT_EQ(geometry_.slot_in_parent(Level::kVersions, chunk), 585u % 8);
+  EXPECT_EQ(geometry_.slot_in_parent(Level::kL0, chunk), 73u % 8);
+  EXPECT_EQ(geometry_.slot_in_parent(Level::kL1, chunk), 1u);
+}
+
+TEST_F(TreeGeometryTest, LevelsOccupyDisjointRanges) {
+  const PhysAddr last_version =
+      geometry_.versions_line_addr(geometry_.chunk_count() - 1);
+  const PhysAddr first_l0 = geometry_.l0_line_addr(0);
+  EXPECT_GT(first_l0.raw, last_version.raw);
+  const PhysAddr last_l0 = geometry_.l0_line_addr(geometry_.l0_lines() - 1);
+  EXPECT_GT(geometry_.l1_line_addr(0).raw, last_l0.raw);
+  const PhysAddr last_l2 = geometry_.l2_line_addr(geometry_.l2_lines() - 1);
+  EXPECT_LT(last_l2.raw + kLineSize, map_.mee_metadata().end().raw + 1);
+}
+
+TEST_F(TreeGeometryTest, ChunkOfAndLineInChunk) {
+  const PhysAddr base = map_.protected_data().base;
+  EXPECT_EQ(geometry_.chunk_of(base + 512 * 3 + 64 * 2), 3u);
+  EXPECT_EQ(geometry_.line_in_chunk(base + 512 * 3 + 64 * 2), 2u);
+}
+
+TEST(NodeCodec, RoundTripCountersAndMac) {
+  TreeNode node;
+  for (int i = 0; i < kTreeArity; ++i)
+    node.counters[i] = (0x0123456789abcdULL + i) & kCounterMask;
+  node.mac = 0x00aabbccddeeffULL;
+  const TreeNode decoded = decode_node(encode_node(node));
+  EXPECT_EQ(decoded.counters, node.counters);
+  EXPECT_EQ(decoded.mac, node.mac);
+}
+
+TEST(NodeCodec, GenesisDetection) {
+  TreeNode node;
+  EXPECT_TRUE(node.is_genesis());
+  node.counters[3] = 1;
+  EXPECT_FALSE(node.is_genesis());
+  node.counters[3] = 0;
+  node.mac = 1;
+  EXPECT_FALSE(node.is_genesis());
+}
+
+TEST(NodeCodec, CounterOverflowRejected) {
+  TreeNode node;
+  node.counters[0] = kCounterMask + 1;
+  EXPECT_THROW(encode_node(node), CheckFailure);
+}
+
+TEST(NodeCodec, TagLineRoundTrip) {
+  TagLine tags;
+  for (int i = 0; i < kTreeArity; ++i) tags.tags[i] = 0xf0f0f0f0f0f0ULL + i;
+  const TagLine decoded = decode_tags(encode_tags(tags));
+  EXPECT_EQ(decoded.tags, tags.tags);
+}
+
+TEST(NodeCodec, PayloadExcludesMac) {
+  TreeNode node;
+  node.counters[0] = 5;
+  node.mac = 0x1234;
+  const auto payload = counter_payload(node);
+  for (int i = 56; i < 64; ++i) EXPECT_EQ(payload[i], 0);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : map_(small_map_config()),
+        engine_(map_, memory_, MeeConfig{}, Rng(42)) {}
+
+  PhysAddr data_addr(std::uint64_t offset) const {
+    return map_.protected_data().base + offset;
+  }
+
+  mem::Line pattern_line(std::uint8_t seed) const {
+    mem::Line line;
+    for (std::size_t i = 0; i < line.size(); ++i)
+      line[i] = static_cast<std::uint8_t>(seed + i);
+    return line;
+  }
+
+  mem::AddressMap map_;
+  mem::PhysicalMemory memory_;
+  MeeEngine engine_;
+  const CoreId core_{0};
+};
+
+TEST_F(EngineTest, GenesisReadReturnsZeros) {
+  mem::Line out;
+  out.fill(0xff);
+  const auto r = engine_.read_line(core_, data_addr(0x1000), &out);
+  for (auto b : out) EXPECT_EQ(b, 0);
+  EXPECT_EQ(r.stop_level, Level::kRoot);  // cold caches: full walk
+  EXPECT_EQ(r.nodes_fetched, 4u);
+}
+
+TEST_F(EngineTest, WriteReadRoundTrip) {
+  const auto addr = data_addr(0x2000);
+  const auto line = pattern_line(7);
+  engine_.write_line(core_, addr, line);
+  mem::Line out;
+  engine_.read_line(core_, addr, &out);
+  EXPECT_EQ(out, line);
+}
+
+TEST_F(EngineTest, DramHoldsCiphertextNotPlaintext) {
+  const auto addr = data_addr(0x3000);
+  const auto line = pattern_line(9);
+  engine_.write_line(core_, addr, line);
+  EXPECT_NE(memory_.read_line(addr), line);
+}
+
+TEST_F(EngineTest, VersionCounterIncrementsPerWrite) {
+  const auto addr = data_addr(0x4000);
+  EXPECT_EQ(engine_.version_counter(addr), 0u);
+  engine_.write_line(core_, addr, pattern_line(1));
+  EXPECT_EQ(engine_.version_counter(addr), 1u);
+  engine_.write_line(core_, addr, pattern_line(2));
+  EXPECT_EQ(engine_.version_counter(addr), 2u);
+  // Sibling line in the same chunk has its own counter.
+  EXPECT_EQ(engine_.version_counter(addr + kLineSize), 0u);
+}
+
+TEST_F(EngineTest, SecondAccessHitsVersionsLevel) {
+  const auto addr = data_addr(0x5000);
+  engine_.read_line(core_, addr);
+  const auto r = engine_.read_line(core_, addr);
+  EXPECT_EQ(r.stop_level, Level::kVersions);
+  EXPECT_EQ(r.nodes_fetched, 0u);
+}
+
+TEST_F(EngineTest, NeighbouringChunkStopsAtL0) {
+  engine_.read_line(core_, data_addr(0));        // chunk 0: full walk
+  const auto r = engine_.read_line(core_, data_addr(512));  // chunk 1
+  EXPECT_EQ(r.stop_level, Level::kL0);  // shares the L0 node with chunk 0
+  EXPECT_EQ(r.nodes_fetched, 1u);
+}
+
+TEST_F(EngineTest, NeighbouringPageStopsAtL1) {
+  engine_.read_line(core_, data_addr(0));
+  const auto r = engine_.read_line(core_, data_addr(kPageSize));
+  EXPECT_EQ(r.stop_level, Level::kL1);
+  EXPECT_EQ(r.nodes_fetched, 2u);
+}
+
+TEST_F(EngineTest, Distant32KStopsAtL2) {
+  engine_.read_line(core_, data_addr(0));
+  const auto r = engine_.read_line(core_, data_addr(32 * 1024));
+  EXPECT_EQ(r.stop_level, Level::kL2);
+  EXPECT_EQ(r.nodes_fetched, 3u);
+}
+
+TEST_F(EngineTest, Distant256KWalksToRoot) {
+  engine_.read_line(core_, data_addr(0));
+  const auto r = engine_.read_line(core_, data_addr(256 * 1024));
+  EXPECT_EQ(r.stop_level, Level::kRoot);
+  EXPECT_EQ(r.nodes_fetched, 4u);
+}
+
+TEST_F(EngineTest, LatencyGrowsWithWalkDepth) {
+  // Average over repeated cold walks vs versions hits.
+  double hit_total = 0, root_total = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    engine_.mutable_cache().flush_all();
+    const auto cold = engine_.read_line(core_, data_addr(0x6000));
+    EXPECT_EQ(cold.stop_level, Level::kRoot);
+    root_total += static_cast<double>(cold.extra_latency);
+    const auto warm = engine_.read_line(core_, data_addr(0x6000));
+    EXPECT_EQ(warm.stop_level, Level::kVersions);
+    hit_total += static_cast<double>(warm.extra_latency);
+  }
+  const auto& lat = engine_.config().latency;
+  EXPECT_NEAR(hit_total / n, static_cast<double>(lat.versions_hit_extra), 6.0);
+  EXPECT_NEAR(root_total / n,
+              static_cast<double>(lat.versions_hit_extra +
+                                  lat.versions_miss_serialization +
+                                  3 * lat.per_level_step),
+              6.0);
+}
+
+TEST_F(EngineTest, TamperedCiphertextDetected) {
+  const auto addr = data_addr(0x7000);
+  engine_.write_line(core_, addr, pattern_line(3));
+  auto line = memory_.read_line(addr);
+  line[5] ^= 0x01;
+  memory_.write_line(addr, line);
+  EXPECT_THROW(engine_.read_line(core_, addr), TamperDetected);
+}
+
+TEST_F(EngineTest, TamperedVersionsNodeDetected) {
+  const auto addr = data_addr(0x8000);
+  engine_.write_line(core_, addr, pattern_line(4));
+  engine_.mutable_cache().flush_all();  // force re-verification from DRAM
+
+  const auto ver_addr = engine_.geometry().versions_line_addr(
+      engine_.geometry().chunk_of(addr));
+  auto node = decode_node(memory_.read_line(ver_addr));
+  node.counters[0] += 1;  // freshness violation
+  memory_.write_line(ver_addr, encode_node(node));
+
+  try {
+    engine_.read_line(core_, addr);
+    FAIL() << "expected TamperDetected";
+  } catch (const TamperDetected& e) {
+    EXPECT_EQ(e.level(), Level::kVersions);
+    EXPECT_EQ(e.address().raw, ver_addr.raw);
+  }
+}
+
+TEST_F(EngineTest, TamperedUpperNodeDetected) {
+  const auto addr = data_addr(0x9000);
+  engine_.write_line(core_, addr, pattern_line(5));
+  engine_.mutable_cache().flush_all();
+
+  const auto l1_addr = engine_.geometry().node_addr(
+      Level::kL1, engine_.geometry().chunk_of(addr));
+  auto node = decode_node(memory_.read_line(l1_addr));
+  node.mac ^= 1;
+  memory_.write_line(l1_addr, encode_node(node));
+  EXPECT_THROW(engine_.read_line(core_, addr), TamperDetected);
+}
+
+TEST_F(EngineTest, ReplayOfOldTreeStateDetected) {
+  const auto addr = data_addr(0xa000);
+  const auto chunk = engine_.geometry().chunk_of(addr);
+  const auto ver_addr = engine_.geometry().versions_line_addr(chunk);
+
+  engine_.write_line(core_, addr, pattern_line(6));
+  const auto old_versions = memory_.read_line(ver_addr);
+  const auto old_data = memory_.read_line(addr);
+
+  engine_.write_line(core_, addr, pattern_line(7));
+  engine_.mutable_cache().flush_all();
+
+  // Roll the versions node and ciphertext back to the previous state: the
+  // L0 counter has moved on, so the replayed node's MAC must fail.
+  memory_.write_line(ver_addr, old_versions);
+  memory_.write_line(addr, old_data);
+  EXPECT_THROW(engine_.read_line(core_, addr), TamperDetected);
+}
+
+TEST_F(EngineTest, StatsTrackStopsAndOperations) {
+  engine_.read_line(core_, data_addr(0));
+  engine_.read_line(core_, data_addr(0));
+  engine_.write_line(core_, data_addr(0), pattern_line(1));
+  const auto& stats = engine_.stats();
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.stops[static_cast<std::size_t>(Level::kRoot)], 1u);
+  EXPECT_EQ(stats.stops[static_cast<std::size_t>(Level::kVersions)], 2u);
+}
+
+TEST_F(EngineTest, RejectsNonProtectedAddress) {
+  EXPECT_THROW(engine_.read_line(core_, PhysAddr{0}), CheckFailure);
+}
+
+TEST_F(EngineTest, PartitionConfinesFillsPerCore) {
+  engine_.set_partition([](CoreId core) -> cache::WayMask {
+    return core.value % 2 == 0 ? 0x0F : 0xF0;
+  });
+  // Many distinct pages from core 0 must never occupy ways 4-7.
+  for (int p = 0; p < 40; ++p)
+    engine_.read_line(CoreId{0}, data_addr(p * kPageSize));
+  const auto& cache = engine_.cache();
+  for (std::uint64_t s = 0; s < cache.geometry().sets(); ++s)
+    EXPECT_LE(cache.occupancy(s), 4u);
+}
+
+TEST(EngineNoCrypto, TimingPathIdenticalWithoutCrypto) {
+  const mem::AddressMap map(small_map_config());
+  mem::PhysicalMemory memory;
+  MeeConfig config;
+  config.functional_crypto = false;
+  MeeEngine engine(map, memory, config, Rng(1));
+  const PhysAddr addr = map.protected_data().base + 0x1000;
+  const auto cold = engine.read_line(CoreId{0}, addr);
+  EXPECT_EQ(cold.stop_level, Level::kRoot);
+  const auto warm = engine.read_line(CoreId{0}, addr);
+  EXPECT_EQ(warm.stop_level, Level::kVersions);
+  // Plaintext passthrough storage.
+  mem::Line line;
+  line.fill(0x5a);
+  engine.write_line(CoreId{0}, addr, line);
+  EXPECT_EQ(memory.read_line(addr), line);
+}
+
+TEST(EngineGenesis, TamperedGenesisParentDetected) {
+  // A genesis (all-zero) node is only acceptable while its parent counter is
+  // zero; bumping the parent without initializing the child must fail.
+  const mem::AddressMap map(small_map_config());
+  mem::PhysicalMemory memory;
+  MeeEngine engine(map, memory, MeeConfig{}, Rng(1));
+  const PhysAddr addr = map.protected_data().base;
+  const auto chunk = engine.geometry().chunk_of(addr);
+
+  engine.write_line(CoreId{0}, addr, mem::Line{});
+  engine.mutable_cache().flush_all();
+  // Zero out the versions node (simulating a wipe/rollback to genesis).
+  memory.write_line(engine.geometry().versions_line_addr(chunk), mem::Line{});
+  EXPECT_THROW(engine.read_line(CoreId{0}, addr), TamperDetected);
+}
+
+}  // namespace
+}  // namespace meecc::mee

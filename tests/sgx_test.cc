@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sgx/enclave.h"
+#include "sim/actor.h"
+#include "sim/system.h"
+
+namespace meecc::sgx {
+namespace {
+
+sim::SystemConfig small_system_config() {
+  sim::SystemConfig config;
+  config.address_map.general_size = 8ull << 20;
+  config.address_map.epc_size = 4ull << 20;
+  return config;
+}
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  EnclaveTest()
+      : system_(small_system_config()),
+        owner_(system_, CoreId{0}, CpuMode::kEnclave) {}
+
+  sim::System system_;
+  sim::Actor owner_;
+};
+
+TEST_F(EnclaveTest, BuildsWithContiguousFrames) {
+  Enclave enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000},
+                                        16 * kPageSize});
+  EXPECT_EQ(enclave.page_count(), 16u);
+  for (std::uint64_t p = 1; p < enclave.page_count(); ++p)
+    EXPECT_EQ(enclave.frame(p) - enclave.frame(p - 1), kPageSize);
+}
+
+TEST_F(EnclaveTest, MapsIntoOwnerAddressSpace) {
+  Enclave enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000},
+                                        4 * kPageSize});
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    const PhysAddr translated =
+        owner_.vas().translate(enclave.base() + p * kPageSize);
+    EXPECT_EQ(translated.raw, enclave.frame(p).raw);
+  }
+}
+
+TEST_F(EnclaveTest, FramesComeFromProtectedRegion) {
+  Enclave enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000},
+                                        8 * kPageSize});
+  for (std::uint64_t p = 0; p < enclave.page_count(); ++p) {
+    EXPECT_EQ(system_.map().classify(enclave.frame(p)),
+              mem::RegionKind::kProtectedData);
+  }
+}
+
+TEST_F(EnclaveTest, TwoEnclavesGetDisjointFrames) {
+  Enclave a(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000}, 8 * kPageSize});
+  sim::Actor other(system_, CoreId{1}, CpuMode::kEnclave);
+  Enclave b(other, EnclaveConfig{VirtAddr{0x7000'0000'0000}, 8 * kPageSize});
+  for (std::uint64_t i = 0; i < a.page_count(); ++i)
+    for (std::uint64_t j = 0; j < b.page_count(); ++j)
+      EXPECT_NE(a.frame(i).raw, b.frame(j).raw);
+}
+
+TEST_F(EnclaveTest, AddressHelperBoundsChecked) {
+  Enclave enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000},
+                                        2 * kPageSize});
+  EXPECT_EQ(enclave.address(0).raw, enclave.base().raw);
+  EXPECT_EQ(enclave.address(2 * kPageSize - 1).raw,
+            enclave.base().raw + 2 * kPageSize - 1);
+  EXPECT_THROW(enclave.address(2 * kPageSize), CheckFailure);
+}
+
+TEST_F(EnclaveTest, RejectsBadConfig) {
+  EXPECT_THROW(Enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0001},
+                                             kPageSize}),
+               CheckFailure);
+  EXPECT_THROW(Enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000}, 0}),
+               CheckFailure);
+  EXPECT_THROW(Enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000},
+                                             kPageSize + 1}),
+               CheckFailure);
+}
+
+TEST_F(EnclaveTest, EpcExhaustionSurfaces) {
+  EXPECT_THROW(Enclave(owner_, EnclaveConfig{VirtAddr{0x7000'0000'0000},
+                                             8ull << 20}),  // > 4 MB EPC
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace meecc::sgx

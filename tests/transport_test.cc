@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "channel/transport.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace meecc::channel {
+namespace {
+
+// --------------------------------------------------------------- Hamming --
+
+TEST(Hamming74, RoundTripAllNibbles) {
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    const auto decoded = hamming74_decode(hamming74_encode(nibble));
+    EXPECT_EQ(decoded.nibble, nibble);
+    EXPECT_FALSE(decoded.corrected);
+  }
+}
+
+class HammingSingleError : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBitPositions, HammingSingleError,
+                         ::testing::Range(0, 7));
+
+TEST_P(HammingSingleError, EverySingleFlipIsCorrected) {
+  const int flipped_bit = GetParam();
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    const std::uint8_t code = hamming74_encode(nibble);
+    const auto corrupted = static_cast<std::uint8_t>(code ^ (1u << flipped_bit));
+    const auto decoded = hamming74_decode(corrupted);
+    EXPECT_EQ(decoded.nibble, nibble)
+        << "nibble " << int(nibble) << " bit " << flipped_bit;
+    EXPECT_TRUE(decoded.corrected);
+  }
+}
+
+TEST(Hamming74, CodewordsDifferInAtLeastThreeBits) {
+  // Minimum distance 3 is what makes single-error correction sound.
+  for (std::uint8_t a = 0; a < 16; ++a) {
+    for (std::uint8_t b = static_cast<std::uint8_t>(a + 1); b < 16; ++b) {
+      const auto diff = static_cast<unsigned>(hamming74_encode(a) ^
+                                              hamming74_encode(b));
+      EXPECT_GE(std::popcount(diff), 3) << int(a) << " vs " << int(b);
+    }
+  }
+}
+
+TEST(Hamming74, RejectsOutOfRangeNibble) {
+  EXPECT_THROW(hamming74_encode(16), CheckFailure);
+}
+
+// ----------------------------------------------------------- interleaver --
+
+TEST(Interleaver, RoundTrip) {
+  Rng rng(1);
+  for (const std::size_t depth : {1u, 2u, 7u, 16u}) {
+    std::vector<std::uint8_t> bits(depth * 11);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_below(2));
+    EXPECT_EQ(deinterleave(interleave(bits, depth), depth), bits);
+  }
+}
+
+TEST(Interleaver, SpreadsBursts) {
+  // A burst of `depth` consecutive channel errors must land in `depth`
+  // DIFFERENT rows after deinterleaving — at most one flip per codeword row.
+  const std::size_t depth = 8;
+  const std::size_t width = 14;
+  std::vector<std::uint8_t> bits(depth * width, 0);
+  auto wire = interleave(bits, depth);
+  for (std::size_t i = 40; i < 40 + depth; ++i) wire[i] ^= 1;  // burst
+  const auto received = deinterleave(wire, depth);
+
+  for (std::size_t row = 0; row < depth; ++row) {
+    int flips = 0;
+    for (std::size_t col = 0; col < width; ++col)
+      flips += received[row * width + col];
+    EXPECT_LE(flips, 1) << "row " << row;
+  }
+}
+
+TEST(Interleaver, RejectsNonMultipleLength) {
+  EXPECT_THROW(interleave(std::vector<std::uint8_t>(10), 3), CheckFailure);
+}
+
+// ------------------------------------------------------------------- CRC --
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+  const std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5',
+                                           '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(check), 0x29B1);
+}
+
+TEST(Crc16, DetectsAnySingleByteChange) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto original = crc16(data);
+  for (int trial = 0; trial < 32; ++trial) {
+    auto copy = data;
+    copy[rng.next_below(copy.size())] ^= static_cast<std::uint8_t>(
+        1 + rng.next_below(255));
+    EXPECT_NE(crc16(copy), original);
+  }
+}
+
+// --------------------------------------------------------------- framing --
+
+std::vector<std::uint8_t> bytes_of(const char* text) {
+  std::vector<std::uint8_t> out;
+  for (const char* p = text; *p; ++p)
+    out.push_back(static_cast<std::uint8_t>(*p));
+  return out;
+}
+
+TEST(Framing, CleanRoundTrip) {
+  const auto message = bytes_of("MEE covert channel");
+  const auto bits = encode_message(message);
+  const auto decoded = decode_message(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->crc_ok);
+  EXPECT_EQ(decoded->payload, message);
+  EXPECT_EQ(decoded->corrected_bits, 0u);
+}
+
+TEST(Framing, EmptyMessageRoundTrips) {
+  const auto bits = encode_message({});
+  const auto decoded = decode_message(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->crc_ok);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Framing, OverheadIsSevenFourthsPlusHeader) {
+  const auto message = std::vector<std::uint8_t>(100, 0xA5);
+  const auto bits = encode_message(message);
+  // (2 len + 100 payload + 2 crc) bytes × 2 nibbles × 7 bits, padded to the
+  // interleave depth.
+  const std::size_t raw = 104 * 2 * 7;
+  EXPECT_GE(bits.size(), raw);
+  EXPECT_LT(bits.size(), raw + 16);
+}
+
+class FramingErrors : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ScatteredErrorCounts, FramingErrors,
+                         ::testing::Values(1, 2, 5, 10));
+
+TEST_P(FramingErrors, OnePerCodewordErrorsAreAllCorrected) {
+  // Construct flips that land in DISTINCT codewords by working in the
+  // deinterleaved stream domain (codeword k, bit j) and mapping back to
+  // wire positions through the interleaver permutation.
+  const TransportConfig config;
+  const auto message = bytes_of("counter tree covert channel payload");
+  const auto bits = encode_message(message, config);
+  const std::size_t width = bits.size() / config.interleave_depth;
+
+  auto corrupted = bits;
+  Rng rng(3 + GetParam());
+  for (int e = 0; e < GetParam(); ++e) {
+    const std::size_t stream_index =
+        static_cast<std::size_t>(e) * 14 + rng.next_below(7);
+    const std::size_t row = stream_index / width;
+    const std::size_t col = stream_index % width;
+    corrupted[col * config.interleave_depth + row] ^= 1;
+  }
+
+  const auto decoded = decode_message(corrupted, config);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->crc_ok);
+  EXPECT_EQ(decoded->payload, message);
+  EXPECT_EQ(decoded->corrected_bits, static_cast<std::size_t>(GetParam()));
+}
+
+TEST(Framing, BurstWithinDepthIsCorrected) {
+  TransportConfig config;
+  config.interleave_depth = 16;
+  const auto message = bytes_of("burst resilience check, quite long payload");
+  const auto bits = encode_message(message, config);
+  auto corrupted = bits;
+  for (std::size_t i = 100; i < 100 + config.interleave_depth; ++i)
+    corrupted[i] ^= 1;  // 16-bit burst → ≤1 flip per codeword
+  const auto decoded = decode_message(corrupted, config);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->crc_ok);
+  EXPECT_EQ(decoded->payload, message);
+}
+
+TEST(Framing, HeavyCorruptionFailsCrcNotCrash) {
+  const auto message = bytes_of("x");
+  auto bits = encode_message(message);
+  Rng rng(9);
+  for (auto& b : bits)
+    if (rng.chance(0.4)) b ^= 1;
+  const auto decoded = decode_message(bits);
+  if (decoded.has_value()) EXPECT_FALSE(decoded->crc_ok && decoded->payload == message);
+}
+
+TEST(Framing, RepetitionRoundTripAndHeavyNoise) {
+  TransportConfig config;
+  config.repetition = 3;
+  const auto message = bytes_of("repetition-coded payload");
+  const auto bits = encode_message(message, config);
+  EXPECT_EQ(bits.size() % 3, 0u);
+
+  // Clean round trip.
+  auto decoded = decode_message(bits, config);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->crc_ok);
+  EXPECT_EQ(decoded->payload, message);
+
+  // 3% random flips — fatal for Hamming alone, fine with majority-of-3.
+  Rng rng(7);
+  auto corrupted = bits;
+  for (auto& b : corrupted)
+    if (rng.chance(0.03)) b ^= 1;
+  decoded = decode_message(corrupted, config);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->crc_ok);
+  EXPECT_EQ(decoded->payload, message);
+}
+
+TEST(Framing, TruncatedStreamReturnsNullopt) {
+  const auto bits = encode_message(bytes_of("hello"));
+  const std::vector<std::uint8_t> truncated(bits.begin(), bits.begin() + 32);
+  EXPECT_EQ(decode_message(truncated), std::nullopt);
+  EXPECT_EQ(decode_message({}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace meecc::channel
