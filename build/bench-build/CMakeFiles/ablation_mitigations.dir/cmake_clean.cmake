@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mitigations"
+  "../bench/ablation_mitigations.pdb"
+  "CMakeFiles/ablation_mitigations.dir/ablation_mitigations.cc.o"
+  "CMakeFiles/ablation_mitigations.dir/ablation_mitigations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_timing_methods"
+  "../bench/fig2_timing_methods.pdb"
+  "CMakeFiles/fig2_timing_methods.dir/fig2_timing_methods.cc.o"
+  "CMakeFiles/fig2_timing_methods.dir/fig2_timing_methods.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timing_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_timing_methods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_eviction_probability"
+  "../bench/fig4_eviction_probability.pdb"
+  "CMakeFiles/fig4_eviction_probability.dir/fig4_eviction_probability.cc.o"
+  "CMakeFiles/fig4_eviction_probability.dir/fig4_eviction_probability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_eviction_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

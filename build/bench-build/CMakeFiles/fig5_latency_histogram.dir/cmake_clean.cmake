@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_latency_histogram"
+  "../bench/fig5_latency_histogram.pdb"
+  "CMakeFiles/fig5_latency_histogram.dir/fig5_latency_histogram.cc.o"
+  "CMakeFiles/fig5_latency_histogram.dir/fig5_latency_histogram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_channel_traces"
+  "../bench/fig6_channel_traces.pdb"
+  "CMakeFiles/fig6_channel_traces.dir/fig6_channel_traces.cc.o"
+  "CMakeFiles/fig6_channel_traces.dir/fig6_channel_traces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_channel_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_noise"
+  "../bench/fig8_noise.pdb"
+  "CMakeFiles/fig8_noise.dir/fig8_noise.cc.o"
+  "CMakeFiles/fig8_noise.dir/fig8_noise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/llc_baseline"
+  "../bench/llc_baseline.pdb"
+  "CMakeFiles/llc_baseline.dir/llc_baseline.cc.o"
+  "CMakeFiles/llc_baseline.dir/llc_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

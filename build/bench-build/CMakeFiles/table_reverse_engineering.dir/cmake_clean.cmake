@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_reverse_engineering"
+  "../bench/table_reverse_engineering.pdb"
+  "CMakeFiles/table_reverse_engineering.dir/table_reverse_engineering.cc.o"
+  "CMakeFiles/table_reverse_engineering.dir/table_reverse_engineering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_reverse_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

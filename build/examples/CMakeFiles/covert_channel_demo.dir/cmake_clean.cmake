@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_channel_demo.dir/covert_channel_demo.cpp.o"
+  "CMakeFiles/covert_channel_demo.dir/covert_channel_demo.cpp.o.d"
+  "covert_channel_demo"
+  "covert_channel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_channel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

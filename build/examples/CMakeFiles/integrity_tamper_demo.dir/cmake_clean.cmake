@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_tamper_demo.dir/integrity_tamper_demo.cpp.o"
+  "CMakeFiles/integrity_tamper_demo.dir/integrity_tamper_demo.cpp.o.d"
+  "integrity_tamper_demo"
+  "integrity_tamper_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_tamper_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_exfiltration.dir/reliable_exfiltration.cpp.o"
+  "CMakeFiles/reliable_exfiltration.dir/reliable_exfiltration.cpp.o.d"
+  "reliable_exfiltration"
+  "reliable_exfiltration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_exfiltration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

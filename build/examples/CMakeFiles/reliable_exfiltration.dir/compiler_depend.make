@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reliable_exfiltration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_engineer_mee.dir/reverse_engineer_mee.cpp.o"
+  "CMakeFiles/reverse_engineer_mee.dir/reverse_engineer_mee.cpp.o.d"
+  "reverse_engineer_mee"
+  "reverse_engineer_mee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_engineer_mee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_cache.dir/geometry.cc.o"
+  "CMakeFiles/meecc_cache.dir/geometry.cc.o.d"
+  "CMakeFiles/meecc_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/meecc_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/meecc_cache.dir/replacement.cc.o"
+  "CMakeFiles/meecc_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/meecc_cache.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/meecc_cache.dir/set_assoc_cache.cc.o.d"
+  "libmeecc_cache.a"
+  "libmeecc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

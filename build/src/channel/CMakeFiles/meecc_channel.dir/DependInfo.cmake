@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/candidates.cc" "src/channel/CMakeFiles/meecc_channel.dir/candidates.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/candidates.cc.o.d"
+  "/root/repo/src/channel/capacity_probe.cc" "src/channel/CMakeFiles/meecc_channel.dir/capacity_probe.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/capacity_probe.cc.o.d"
+  "/root/repo/src/channel/classify.cc" "src/channel/CMakeFiles/meecc_channel.dir/classify.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/classify.cc.o.d"
+  "/root/repo/src/channel/covert_channel.cc" "src/channel/CMakeFiles/meecc_channel.dir/covert_channel.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/covert_channel.cc.o.d"
+  "/root/repo/src/channel/detector.cc" "src/channel/CMakeFiles/meecc_channel.dir/detector.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/detector.cc.o.d"
+  "/root/repo/src/channel/eviction_set.cc" "src/channel/CMakeFiles/meecc_channel.dir/eviction_set.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/eviction_set.cc.o.d"
+  "/root/repo/src/channel/latency_survey.cc" "src/channel/CMakeFiles/meecc_channel.dir/latency_survey.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/latency_survey.cc.o.d"
+  "/root/repo/src/channel/llc_baseline.cc" "src/channel/CMakeFiles/meecc_channel.dir/llc_baseline.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/llc_baseline.cc.o.d"
+  "/root/repo/src/channel/mitigation.cc" "src/channel/CMakeFiles/meecc_channel.dir/mitigation.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/mitigation.cc.o.d"
+  "/root/repo/src/channel/prime_probe.cc" "src/channel/CMakeFiles/meecc_channel.dir/prime_probe.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/prime_probe.cc.o.d"
+  "/root/repo/src/channel/testbed.cc" "src/channel/CMakeFiles/meecc_channel.dir/testbed.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/testbed.cc.o.d"
+  "/root/repo/src/channel/timing_study.cc" "src/channel/CMakeFiles/meecc_channel.dir/timing_study.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/timing_study.cc.o.d"
+  "/root/repo/src/channel/transport.cc" "src/channel/CMakeFiles/meecc_channel.dir/transport.cc.o" "gcc" "src/channel/CMakeFiles/meecc_channel.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/meecc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/meecc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mee/CMakeFiles/meecc_mee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/meecc_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/meecc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_channel.dir/candidates.cc.o"
+  "CMakeFiles/meecc_channel.dir/candidates.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/capacity_probe.cc.o"
+  "CMakeFiles/meecc_channel.dir/capacity_probe.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/classify.cc.o"
+  "CMakeFiles/meecc_channel.dir/classify.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/covert_channel.cc.o"
+  "CMakeFiles/meecc_channel.dir/covert_channel.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/detector.cc.o"
+  "CMakeFiles/meecc_channel.dir/detector.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/eviction_set.cc.o"
+  "CMakeFiles/meecc_channel.dir/eviction_set.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/latency_survey.cc.o"
+  "CMakeFiles/meecc_channel.dir/latency_survey.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/llc_baseline.cc.o"
+  "CMakeFiles/meecc_channel.dir/llc_baseline.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/mitigation.cc.o"
+  "CMakeFiles/meecc_channel.dir/mitigation.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/prime_probe.cc.o"
+  "CMakeFiles/meecc_channel.dir/prime_probe.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/testbed.cc.o"
+  "CMakeFiles/meecc_channel.dir/testbed.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/timing_study.cc.o"
+  "CMakeFiles/meecc_channel.dir/timing_study.cc.o.d"
+  "CMakeFiles/meecc_channel.dir/transport.cc.o"
+  "CMakeFiles/meecc_channel.dir/transport.cc.o.d"
+  "libmeecc_channel.a"
+  "libmeecc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_common.dir/chart.cc.o"
+  "CMakeFiles/meecc_common.dir/chart.cc.o.d"
+  "CMakeFiles/meecc_common.dir/histogram.cc.o"
+  "CMakeFiles/meecc_common.dir/histogram.cc.o.d"
+  "CMakeFiles/meecc_common.dir/rng.cc.o"
+  "CMakeFiles/meecc_common.dir/rng.cc.o.d"
+  "CMakeFiles/meecc_common.dir/stats.cc.o"
+  "CMakeFiles/meecc_common.dir/stats.cc.o.d"
+  "CMakeFiles/meecc_common.dir/table.cc.o"
+  "CMakeFiles/meecc_common.dir/table.cc.o.d"
+  "libmeecc_common.a"
+  "libmeecc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

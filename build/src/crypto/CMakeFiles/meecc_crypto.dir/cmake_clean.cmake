@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_crypto.dir/aes128.cc.o"
+  "CMakeFiles/meecc_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/meecc_crypto.dir/line_cipher.cc.o"
+  "CMakeFiles/meecc_crypto.dir/line_cipher.cc.o.d"
+  "CMakeFiles/meecc_crypto.dir/mac.cc.o"
+  "CMakeFiles/meecc_crypto.dir/mac.cc.o.d"
+  "CMakeFiles/meecc_crypto.dir/multilinear_mac.cc.o"
+  "CMakeFiles/meecc_crypto.dir/multilinear_mac.cc.o.d"
+  "libmeecc_crypto.a"
+  "libmeecc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mee/engine.cc" "src/mee/CMakeFiles/meecc_mee.dir/engine.cc.o" "gcc" "src/mee/CMakeFiles/meecc_mee.dir/engine.cc.o.d"
+  "/root/repo/src/mee/node_codec.cc" "src/mee/CMakeFiles/meecc_mee.dir/node_codec.cc.o" "gcc" "src/mee/CMakeFiles/meecc_mee.dir/node_codec.cc.o.d"
+  "/root/repo/src/mee/tree_geometry.cc" "src/mee/CMakeFiles/meecc_mee.dir/tree_geometry.cc.o" "gcc" "src/mee/CMakeFiles/meecc_mee.dir/tree_geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/meecc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/meecc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/meecc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

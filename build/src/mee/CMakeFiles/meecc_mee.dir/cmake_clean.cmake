@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_mee.dir/engine.cc.o"
+  "CMakeFiles/meecc_mee.dir/engine.cc.o.d"
+  "CMakeFiles/meecc_mee.dir/node_codec.cc.o"
+  "CMakeFiles/meecc_mee.dir/node_codec.cc.o.d"
+  "CMakeFiles/meecc_mee.dir/tree_geometry.cc.o"
+  "CMakeFiles/meecc_mee.dir/tree_geometry.cc.o.d"
+  "libmeecc_mee.a"
+  "libmeecc_mee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_mee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

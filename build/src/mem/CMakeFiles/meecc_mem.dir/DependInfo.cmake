@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cc" "src/mem/CMakeFiles/meecc_mem.dir/address_map.cc.o" "gcc" "src/mem/CMakeFiles/meecc_mem.dir/address_map.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/meecc_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/meecc_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/frame_allocator.cc" "src/mem/CMakeFiles/meecc_mem.dir/frame_allocator.cc.o" "gcc" "src/mem/CMakeFiles/meecc_mem.dir/frame_allocator.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/meecc_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/meecc_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/physical_memory.cc" "src/mem/CMakeFiles/meecc_mem.dir/physical_memory.cc.o" "gcc" "src/mem/CMakeFiles/meecc_mem.dir/physical_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_mem.dir/address_map.cc.o"
+  "CMakeFiles/meecc_mem.dir/address_map.cc.o.d"
+  "CMakeFiles/meecc_mem.dir/dram.cc.o"
+  "CMakeFiles/meecc_mem.dir/dram.cc.o.d"
+  "CMakeFiles/meecc_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/meecc_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/meecc_mem.dir/page_table.cc.o"
+  "CMakeFiles/meecc_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/meecc_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/meecc_mem.dir/physical_memory.cc.o.d"
+  "libmeecc_mem.a"
+  "libmeecc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

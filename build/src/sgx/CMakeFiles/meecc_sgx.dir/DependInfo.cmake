@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/enclave.cc" "src/sgx/CMakeFiles/meecc_sgx.dir/enclave.cc.o" "gcc" "src/sgx/CMakeFiles/meecc_sgx.dir/enclave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/meecc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mee/CMakeFiles/meecc_mee.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/meecc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/meecc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

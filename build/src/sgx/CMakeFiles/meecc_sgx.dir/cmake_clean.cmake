@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_sgx.dir/enclave.cc.o"
+  "CMakeFiles/meecc_sgx.dir/enclave.cc.o.d"
+  "libmeecc_sgx.a"
+  "libmeecc_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

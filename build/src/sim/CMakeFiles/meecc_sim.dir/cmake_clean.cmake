@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meecc_sim.dir/actor.cc.o"
+  "CMakeFiles/meecc_sim.dir/actor.cc.o.d"
+  "CMakeFiles/meecc_sim.dir/des.cc.o"
+  "CMakeFiles/meecc_sim.dir/des.cc.o.d"
+  "CMakeFiles/meecc_sim.dir/noise.cc.o"
+  "CMakeFiles/meecc_sim.dir/noise.cc.o.d"
+  "CMakeFiles/meecc_sim.dir/system.cc.o"
+  "CMakeFiles/meecc_sim.dir/system.cc.o.d"
+  "libmeecc_sim.a"
+  "libmeecc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meecc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

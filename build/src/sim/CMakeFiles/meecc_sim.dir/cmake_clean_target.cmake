@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmeecc_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mee_test.dir/mee_test.cc.o"
+  "CMakeFiles/mee_test.dir/mee_test.cc.o.d"
+  "mee_test"
+  "mee_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
