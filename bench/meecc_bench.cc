@@ -1,0 +1,203 @@
+// meecc_bench: the single driver for every registered experiment.
+//
+//   meecc_bench list
+//   meecc_bench describe <experiment>
+//   meecc_bench run <experiment> [--set k=v]... [--sweep k=a,b,c]...
+//                   [--seeds N] [--seed BASE] [--jobs N] [--json PATH]
+//                   [--artifacts] [--quiet]
+//
+// `run` expands the declarative sweep into the cross-product of trials,
+// executes them on a worker pool (one simulator per trial — results are
+// bit-identical at any --jobs value), prints the summary table, and with
+// --json writes one JSON line per trial ("-" for stdout).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runtime/experiments.h"
+#include "runtime/params.h"
+#include "runtime/registry.h"
+#include "runtime/runner.h"
+#include "runtime/sink.h"
+#include "runtime/sweep.h"
+
+namespace {
+
+using namespace meecc;
+
+int usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: meecc_bench <command> ...\n"
+      "  list                      registered experiments\n"
+      "  describe <experiment>     parameters, defaults, shared config keys\n"
+      "  run <experiment> [options]\n"
+      "      --set key=value       pin a parameter (overrides default sweeps)\n"
+      "      --sweep key=a,b,c     sweep a parameter axis (cross-product)\n"
+      "      --seeds N             seeds per parameter combination (default 1)\n"
+      "      --seed BASE           base seed (default 42; seed s = BASE+s)\n"
+      "      --jobs N              worker threads (default 1; 0 = all cores)\n"
+      "      --json PATH           JSONL results, one line per trial ('-' = "
+      "stdout)\n"
+      "      --artifacts           print per-trial charts/tables even for "
+      "sweeps\n"
+      "      --quiet               no per-trial progress on stderr\n");
+  return out == stdout ? 0 : 2;
+}
+
+int cmd_list() {
+  Table table({"experiment", "reproduces", "default trials", "description"});
+  for (const runtime::Experiment* e : runtime::all_experiments()) {
+    const auto trials = runtime::expand_sweep(*e, runtime::SweepSpec{});
+    table.add(e->name, e->paper_ref, trials.size(), e->description);
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const runtime::Experiment& e = runtime::get_experiment(name);
+  std::printf("%s — %s\nreproduces: %s\n\n", e.name.c_str(),
+              e.description.c_str(), e.paper_ref.c_str());
+  if (!e.default_params.empty()) {
+    Table params({"parameter", "default"});
+    for (const auto& [key, value] : e.default_params) params.add(key, value);
+    std::printf("experiment parameters:\n%s\n", params.to_text().c_str());
+  }
+  if (!e.default_sweeps.empty()) {
+    Table sweeps({"default sweep axis", "values"});
+    for (const auto& [key, values] : e.default_sweeps) sweeps.add(key, values);
+    std::printf("%s\n", sweeps.to_text().c_str());
+  }
+  Table config({"shared config key", "meaning"});
+  for (const auto& doc : runtime::config_key_docs())
+    config.add(doc.key, doc.doc);
+  std::printf("shared config keys (all experiments):\n%s",
+              config.to_text().c_str());
+  return 0;
+}
+
+int cmd_run(const std::string& name, const std::vector<std::string>& args) {
+  const runtime::Experiment& experiment = runtime::get_experiment(name);
+
+  runtime::SweepSpec sweep;
+  unsigned jobs = 1;
+  std::string json_path;
+  bool quiet = false, force_artifacts = false;
+  const std::vector<std::string> rest =
+      runtime::parse_sweep_args(args, &sweep);
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= rest.size())
+        throw runtime::ParamError(arg + " needs an argument");
+      return rest[++i];
+    };
+    if (arg == "--jobs") {
+      jobs = static_cast<unsigned>(runtime::parse_u64("--jobs", value()));
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--artifacts") {
+      force_artifacts = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+  }
+
+  const std::vector<runtime::TrialSpec> trials =
+      runtime::expand_sweep(experiment, sweep);
+  const std::vector<std::string> columns =
+      runtime::swept_keys(experiment, sweep);
+
+  if (!quiet)
+    std::fprintf(stderr, "%s: %zu trial%s, %u job%s\n",
+                 experiment.name.c_str(), trials.size(),
+                 trials.size() == 1 ? "" : "s", jobs == 0 ? 0 : jobs,
+                 jobs == 1 ? "" : "s");
+  std::size_t completed = 0;
+  runtime::RunnerConfig runner;
+  runner.jobs = jobs;
+  if (!quiet) {
+    runner.on_trial = [&](const runtime::TrialRecord& record) {
+      ++completed;
+      std::string brief;
+      for (const std::string& key : columns) {
+        const auto v = runtime::find_param(record.spec.params, key);
+        if (v) brief += ' ' + key + '=' + std::string(*v);
+      }
+      std::fprintf(stderr, "[%zu/%zu] trial %zu seed %llu%s: %s\n", completed,
+                   trials.size(), record.spec.trial_index,
+                   static_cast<unsigned long long>(record.spec.seed),
+                   brief.c_str(),
+                   record.ok ? "ok" : record.error.c_str());
+    };
+  }
+
+  const std::vector<runtime::TrialRecord> records =
+      runtime::run_trials(experiment, trials, runner);
+
+  // With --json - the JSONL stream owns stdout; human output moves to stderr.
+  std::FILE* human = json_path == "-" ? stderr : stdout;
+  if (force_artifacts || records.size() == 1) {
+    for (const auto& record : records)
+      if (record.ok && !record.result.artifact_text.empty())
+        std::fprintf(human, "%s\n", record.result.artifact_text.c_str());
+  }
+  std::fprintf(human, "%s",
+               runtime::summary_table(records, columns).to_text().c_str());
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      runtime::write_jsonl(std::cout, records);
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     json_path.c_str());
+        return 1;
+      }
+      runtime::write_jsonl(out, records);
+      if (!quiet)
+        std::fprintf(stderr, "wrote %zu JSONL record%s to %s\n",
+                     records.size(), records.size() == 1 ? "" : "s",
+                     json_path.c_str());
+    }
+  }
+
+  for (const auto& record : records)
+    if (!record.ok) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::register_builtin_experiments();
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage(stderr);
+    if (args[0] == "help" || args[0] == "--help" || args[0] == "-h")
+      return usage(stdout);
+    if (args[0] == "list") return cmd_list();
+    if (args[0] == "describe") {
+      if (args.size() != 2) return usage(stderr);
+      return cmd_describe(args[1]);
+    }
+    if (args[0] == "run") {
+      if (args.size() < 2) return usage(stderr);
+      return cmd_run(args[1], {args.begin() + 2, args.end()});
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", args[0].c_str());
+    return usage(stderr);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "meecc_bench: %s\n", e.what());
+    return 2;
+  }
+}

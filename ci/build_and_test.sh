@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: build the plain and sanitized (ASan+UBSan) configurations,
+# run the full test suite in both, then smoke the experiment runtime's
+# determinism contract (bit-identical JSONL at --jobs 1 vs --jobs 4).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+build_and_test() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$ROOT" "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "=== plain build (warnings are errors) ==="
+build_and_test "$ROOT/build-ci-plain" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_WERROR=ON
+
+echo "=== sanitized build (ASan+UBSan) ==="
+build_and_test "$ROOT/build-ci-asan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_SANITIZE=ON
+
+echo "=== runtime determinism smoke ==="
+BENCH="$ROOT/build-ci-plain/bench/meecc_bench"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$BENCH" run fig7_window_sweep --set bits=96 --seeds 4 --jobs 4 \
+  --json "$TMP/j4.jsonl" --quiet > /dev/null
+"$BENCH" run fig7_window_sweep --set bits=96 --seeds 4 --jobs 1 \
+  --json "$TMP/j1.jsonl" --quiet > /dev/null
+cmp "$TMP/j1.jsonl" "$TMP/j4.jsonl"
+echo "jobs=1 and jobs=4 JSONL bit-identical ($(wc -l < "$TMP/j1.jsonl") trials)"
+
+"$BENCH" list
+echo "CI OK"

@@ -1,37 +1,42 @@
-// How the channel degrades under co-tenant load (paper §5.4, Fig. 8):
-// cache/memory stress barely matters (it never touches the MEE cache),
-// while a co-tenant enclave streaming integrity-tree data through the MEE
-// cache costs real bit errors.
+// How the channel degrades under co-tenant load (paper §5.4, Fig. 8) —
+// driven through the experiment runtime instead of a hand-rolled loop.
+// This is the programmatic embedding the `meecc_bench run fig8_noise` CLI
+// wraps: look up the registered experiment, expand its declarative sweep,
+// run the trials through the parallel runner, render the results.
 //
 //   $ ./noise_robustness
 #include <cstdio>
 
-#include "channel/covert_channel.h"
-#include "channel/testbed.h"
+#include "runtime/experiments.h"
+#include "runtime/registry.h"
+#include "runtime/runner.h"
+#include "runtime/sink.h"
+#include "runtime/sweep.h"
 
 int main() {
   using namespace meecc;
-  const auto payload = channel::pattern_100100(128);
+  runtime::register_builtin_experiments();
+  const runtime::Experiment& fig8 =
+      runtime::get_experiment("fig8_noise");
 
-  const channel::NoiseEnv envs[] = {
-      channel::NoiseEnv::kNone, channel::NoiseEnv::kMemoryStress,
-      channel::NoiseEnv::kMeeStride512, channel::NoiseEnv::kMeeStride4K};
+  // The experiment's default sweep is the paper's four environments
+  // (noise=none,stress,mee512,mee4k); two seeds per environment.
+  runtime::SweepSpec sweep;
+  sweep.seeds = 2;
+  sweep.base_seed = 300;
+  const auto trials = runtime::expand_sweep(fig8, sweep);
 
-  std::printf("%-28s %-14s %s\n", "environment", "errors /128", "error rate");
-  int seed = 300;
-  for (const auto env : envs) {
-    channel::TestBedConfig config = channel::default_testbed_config(seed++);
-    config.system.mee.functional_crypto = false;
-    config.noise = env;
-    config.noise_autostart = false;  // co-tenant load arrives mid-transfer
-    channel::TestBed bed(config);
-    const auto result =
-        channel::run_covert_channel(bed, channel::ChannelConfig{}, payload);
-    std::printf("%-28s %-14zu %.3f\n",
-                std::string(to_string(env)).c_str(), result.bit_errors,
-                result.error_rate);
-  }
-  std::printf("\npaper Fig. 8: no-noise/memory-noise ~1 error bit;\n"
+  runtime::RunnerConfig runner;
+  runner.jobs = 2;
+  const auto records = runtime::run_trials(fig8, trials, runner);
+
+  const auto columns = runtime::swept_keys(fig8, sweep);
+  std::printf("%s\n",
+              runtime::summary_table(records, columns).to_text().c_str());
+  std::printf("paper Fig. 8: no-noise/memory-noise ~1 error bit;\n"
               "MEE-cache noise (512B/4KB stride) ~4-5 error bits.\n");
+
+  for (const auto& record : records)
+    if (!record.ok) return 1;
   return 0;
 }

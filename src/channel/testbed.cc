@@ -20,6 +20,28 @@ std::string_view to_string(NoiseEnv env) {
   return "?";
 }
 
+std::string_view to_token(NoiseEnv env) {
+  switch (env) {
+    case NoiseEnv::kNone:
+      return "none";
+    case NoiseEnv::kMemoryStress:
+      return "stress";
+    case NoiseEnv::kMeeStride512:
+      return "mee512";
+    case NoiseEnv::kMeeStride4K:
+      return "mee4k";
+  }
+  return "?";
+}
+
+std::optional<NoiseEnv> noise_env_from_string(std::string_view token) {
+  if (token == "none") return NoiseEnv::kNone;
+  if (token == "stress" || token == "memstress") return NoiseEnv::kMemoryStress;
+  if (token == "mee512") return NoiseEnv::kMeeStride512;
+  if (token == "mee4k") return NoiseEnv::kMeeStride4K;
+  return std::nullopt;
+}
+
 TestBedConfig default_testbed_config(std::uint64_t seed) {
   TestBedConfig config;
   config.system.seed = seed;

@@ -25,6 +25,13 @@ enum class NoiseEnv {
 
 std::string_view to_string(NoiseEnv env);
 
+/// Short token for CLIs and result files: none|stress|mee512|mee4k.
+std::string_view to_token(NoiseEnv env);
+
+/// Inverse of to_token (also accepts a few aliases like "memstress");
+/// nullopt for unrecognized tokens.
+std::optional<NoiseEnv> noise_env_from_string(std::string_view token);
+
 struct TestBedConfig {
   sim::SystemConfig system;
   std::uint64_t trojan_enclave_bytes = 768 * 1024;

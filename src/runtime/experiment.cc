@@ -1,0 +1,29 @@
+#include "runtime/experiment.h"
+
+namespace meecc::runtime {
+
+std::optional<std::string_view> find_param(const ParamMap& params,
+                                           std::string_view key) {
+  std::optional<std::string_view> found;
+  for (const auto& [k, v] : params)
+    if (k == key) found = v;  // later bindings win
+  return found;
+}
+
+void set_param(ParamMap& params, std::string_view key, std::string value) {
+  for (auto& [k, v] : params) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  params.emplace_back(std::string(key), std::move(value));
+}
+
+std::optional<double> TrialResult::find_metric(std::string_view name) const {
+  for (const auto& [k, v] : metrics)
+    if (k == name) return v;
+  return std::nullopt;
+}
+
+}  // namespace meecc::runtime

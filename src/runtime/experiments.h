@@ -1,0 +1,21 @@
+// Built-in experiment registration.
+//
+// Call register_builtin_experiments() once at startup (the meecc_bench
+// driver and the tests both do); it is idempotent. Registration is explicit
+// rather than static-initializer magic so the experiments survive being
+// archived into a static library.
+#pragma once
+
+namespace meecc::runtime {
+
+/// Paper figures and tables: fig2, fig4-fig8, table_reverse_engineering,
+/// llc_baseline.
+void register_figure_experiments();
+
+/// Beyond-paper ablations: detection, EPC placement, mitigations.
+void register_ablation_experiments();
+
+/// Both of the above, exactly once per process.
+void register_builtin_experiments();
+
+}  // namespace meecc::runtime

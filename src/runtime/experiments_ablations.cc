@@ -1,0 +1,219 @@
+// Beyond-paper ablations as registered experiments: counter-based
+// detection, EPC placement sensitivity, and the way-partitioning
+// mitigation (§5.5 directions).
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "channel/capacity_probe.h"
+#include "channel/covert_channel.h"
+#include "channel/detector.h"
+#include "channel/mitigation.h"
+#include "channel/testbed.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "runtime/experiments.h"
+#include "runtime/params.h"
+#include "runtime/registry.h"
+#include "sim/noise.h"
+
+namespace meecc::runtime {
+
+namespace {
+
+// --- detection: MEE performance counters vs three workloads -------------
+
+TrialResult run_detection(const TrialSpec& spec) {
+  const std::string workload = param_str(spec, "workload", "channel");
+  channel::TestBed bed(make_testbed_config(spec));
+  channel::Detector detector(bed, channel::DetectorConfig{});
+
+  if (workload == "channel") {
+    const auto setup =
+        channel::setup_covert_channel(bed, channel::ChannelConfig{});
+    detector.start();
+    (void)channel::transfer_covert_channel(
+        bed, channel::ChannelConfig{},
+        channel::random_bits(param_u64(spec, "bits", 256), spec.seed + 1),
+        setup);
+  } else if (workload == "stride64" || workload == "stride4k") {
+    detector.start();
+    bed.scheduler().spawn(sim::mee_stride_walker(
+        bed.spy(),
+        sim::StrideWalkerConfig{
+            .base = bed.spy_enclave().base(),
+            .bytes = bed.spy_enclave().size(),
+            .stride = workload == "stride64" ? 64ull : 4096ull,
+            .gap = 600}));
+    bed.scheduler().run_until(4'000'000);
+  } else {
+    throw ParamError("workload must be channel|stride64|stride4k, got '" +
+                     workload + "'");
+  }
+  const auto report = detector.stop();
+
+  TrialResult out;
+  out.metric("flagged", report.flagged);
+  out.metric("flagged_by_miss_ratio", report.flagged_by_miss_ratio);
+  out.metric("flagged_by_concentration", report.flagged_by_concentration);
+  out.metric("suspicious_epochs",
+             static_cast<double>(report.suspicious_epochs));
+
+  std::ostringstream artifact;
+  artifact << "workload " << workload << ": "
+           << (report.flagged ? "FLAGGED" : "not flagged") << " (miss ratio "
+           << (report.flagged_by_miss_ratio ? "yes" : "no")
+           << ", set concentration "
+           << (report.flagged_by_concentration ? "yes" : "no") << ", "
+           << report.suspicious_epochs << " suspicious epochs)\n"
+           << "takeaway: the trojan's eviction pass is mostly versions HITS,\n"
+              "so only per-set eviction concentration exposes the channel —\n"
+              "and the miss-ratio rule false-positives on streaming "
+              "co-tenants.\n";
+  out.artifact_text = artifact.str();
+  return out;
+}
+
+// --- EPC placement sensitivity ------------------------------------------
+
+TrialResult run_epc_placement(const TrialSpec& spec) {
+  channel::TestBed bed(make_testbed_config(spec));
+
+  channel::CapacityProbeConfig cap_config;
+  cap_config.trials = static_cast<int>(param_u64(spec, "trials", 60));
+  const auto capacity = channel::run_capacity_probe(bed, cap_config);
+
+  double error_rate = 1.0;
+  std::uint32_t ways = 0;
+  bool setup_ok = false;
+  try {
+    const auto result = channel::run_covert_channel(
+        bed, channel::ChannelConfig{},
+        channel::random_bits(param_u64(spec, "bits", 192), spec.seed + 3));
+    error_rate = result.error_rate;
+    ways = result.eviction.associativity();
+    setup_ok = true;
+  } catch (const CheckFailure&) {
+    // Algorithm 1 / discovery could not establish the channel.
+  }
+
+  TrialResult out;
+  out.metric("p_evict_at_max", capacity.points.back().probability);
+  out.metric("knee", static_cast<double>(capacity.knee));
+  out.metric("capacity_kb",
+             static_cast<double>(capacity.estimated_capacity_bytes) / 1024.0);
+  out.metric("ways", ways);
+  out.metric("error_rate", error_rate);
+  out.metric("setup_ok", setup_ok);
+
+  std::ostringstream artifact;
+  artifact << "reading: the attack does NOT depend on contiguous EPC\n"
+              "allocation — a warm MEE cache is always full, so saturation\n"
+              "tracks insertion count, and the channel is timing-driven.\n";
+  out.artifact_text = artifact.str();
+  return out;
+}
+
+// --- way-partitioning mitigation ----------------------------------------
+
+TrialResult run_mitigations(const TrialSpec& spec) {
+  const bool partitioned = param_bool(spec, "partitioned", false);
+  auto make_bed = [&](std::uint64_t seed) {
+    channel::TestBedConfig config = make_testbed_config(spec);
+    config.system.seed = seed;
+    auto bed = std::make_unique<channel::TestBed>(config);
+    if (partitioned)
+      bed->system().mee().set_partition(channel::make_way_partition(
+          bed->system().mee().config().cache_geometry.ways));
+    return bed;
+  };
+
+  const auto payload =
+      channel::alternating_bits(param_u64(spec, "bits", 192));
+  double error_rate = 1.0;
+  bool blocked = false;
+  try {
+    auto bed = make_bed(spec.seed);
+    error_rate =
+        channel::run_covert_channel(*bed, channel::ChannelConfig{}, payload)
+            .error_rate;
+  } catch (const CheckFailure&) {
+    blocked = true;  // discovery/Algorithm 1 could not establish the channel
+  }
+
+  auto legit_bed = make_bed(spec.seed + 1);
+  const auto legit = channel::measure_legit_workload(
+      *legit_bed, param_u64(spec, "legit_bytes", 256 * 1024),
+      static_cast<int>(param_u64(spec, "legit_samples", 3000)));
+
+  TrialResult out;
+  out.metric("blocked_at_setup", blocked);
+  out.metric("error_rate", error_rate);
+  out.metric("legit_versions_hit_rate", legit.versions_hit_rate);
+  out.metric("legit_mean_latency", legit.mean_protected_latency);
+
+  std::ostringstream artifact;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "%s: channel %s, legit versions-hit rate %.3f, mean "
+                "protected latency %.0f cycles\n",
+                partitioned ? "way-partitioned by core"
+                            : "shared MEE cache (hardware)",
+                blocked ? "blocked at setup"
+                        : (error_rate > 0.25 ? "garbled" : "works"),
+                legit.versions_hit_rate, legit.mean_protected_latency);
+  artifact << line
+           << "caveats (§5.5): partitioning cannot attribute shared\n"
+              "integrity-tree nodes, per-core masks break under migration,\n"
+              "and the halved associativity taxes every enclave.\n";
+  out.artifact_text = artifact.str();
+  return out;
+}
+
+}  // namespace
+
+void register_ablation_experiments() {
+  register_experiment(
+      {.name = "ablation_detection",
+       .description = "MEE performance-counter detection vs channel and "
+                      "innocent workloads",
+       .paper_ref = "beyond-paper; §5.5 refs [1][4]",
+       .default_params = {{"functional_crypto", "false"},
+                          {"workload", "channel"},
+                          {"bits", "256"}},
+       .default_sweeps = {{"workload", "channel,stride64,stride4k"}},
+       .run = run_detection});
+  register_experiment(
+      {.name = "ablation_epc_placement",
+       .description = "does the attack survive fragmented (randomized) EPC "
+                      "allocation?",
+       .paper_ref = "beyond-paper; §4.1 assumption",
+       .default_params = {{"functional_crypto", "false"},
+                          {"trials", "60"},
+                          {"bits", "192"}},
+       .default_sweeps = {{"epc_placement", "contiguous,randomized"}},
+       .run = run_epc_placement});
+  register_experiment(
+      {.name = "ablation_mitigations",
+       .description = "way-partitioned MEE cache: stops the channel, taxes "
+                      "legit enclaves",
+       .paper_ref = "§5.5",
+       .default_params = {{"functional_crypto", "false"},
+                          {"partitioned", "false"},
+                          {"bits", "192"},
+                          {"legit_bytes", "262144"},
+                          {"legit_samples", "3000"}},
+       .default_sweeps = {{"partitioned", "false,true"}},
+       .run = run_mitigations});
+}
+
+void register_builtin_experiments() {
+  static const bool once = [] {
+    register_figure_experiments();
+    register_ablation_experiments();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace meecc::runtime

@@ -1,0 +1,71 @@
+// The shared string-keyed override table for simulator configuration.
+//
+// One table (params.cc) maps keys like "noise", "epc_size" or
+// "mee.per_level_step" onto sim::SystemConfig / channel::TestBedConfig
+// fields, so experiments never reimplement "parse noise=mee4k into a
+// NoiseEnv". The sweep expander validates keys against this table plus the
+// experiment's own default_params; bad values throw ParamError with the
+// offending key in the message.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "channel/testbed.h"
+#include "runtime/experiment.h"
+#include "sim/system.h"
+
+namespace meecc::runtime {
+
+class ParamError : public std::runtime_error {
+ public:
+  explicit ParamError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Value parsers shared by the override table and experiment run()
+/// functions. All throw ParamError on malformed input.
+std::uint64_t parse_u64(std::string_view key, std::string_view value);
+/// Like parse_u64 but accepts K/M/G binary suffixes ("64K" -> 65536).
+std::uint64_t parse_size(std::string_view key, std::string_view value);
+double parse_double(std::string_view key, std::string_view value);
+/// Accepts true/false, on/off, yes/no, 1/0.
+bool parse_bool(std::string_view key, std::string_view value);
+
+/// True if `key` is in the shared config table below.
+bool is_config_key(std::string_view key);
+
+/// Documented keys, for `meecc_bench describe` / error messages.
+struct ConfigKeyDoc {
+  std::string_view key;
+  std::string_view doc;
+};
+const std::vector<ConfigKeyDoc>& config_key_docs();
+
+/// Applies one override to a SystemConfig. Returns false if `key` names a
+/// test-bed-level (or unknown) parameter; throws ParamError on bad values.
+bool apply_override(sim::SystemConfig& config, std::string_view key,
+                    std::string_view value);
+
+/// Applies one override to a TestBedConfig (covers the SystemConfig keys
+/// too). Returns false for keys outside the table.
+bool apply_override(channel::TestBedConfig& config, std::string_view key,
+                    std::string_view value);
+
+/// Standard trial entry point: default_testbed_config(spec.seed) with every
+/// config-table param in the spec applied. Non-config params (experiment
+/// locals such as "bits") are left for the caller to read via param_*().
+channel::TestBedConfig make_testbed_config(const TrialSpec& spec);
+
+/// Experiment-local parameter lookups with defaults.
+std::uint64_t param_u64(const TrialSpec& spec, std::string_view key,
+                        std::uint64_t fallback);
+double param_double(const TrialSpec& spec, std::string_view key,
+                    double fallback);
+bool param_bool(const TrialSpec& spec, std::string_view key, bool fallback);
+std::string param_str(const TrialSpec& spec, std::string_view key,
+                      std::string_view fallback);
+
+}  // namespace meecc::runtime

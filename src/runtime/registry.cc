@@ -1,0 +1,57 @@
+#include "runtime/registry.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace meecc::runtime {
+
+namespace {
+
+// Stable storage: Experiment pointers handed out stay valid for the
+// process lifetime regardless of later registrations.
+std::vector<std::unique_ptr<Experiment>>& registry() {
+  static std::vector<std::unique_ptr<Experiment>> experiments;
+  return experiments;
+}
+
+}  // namespace
+
+void register_experiment(Experiment experiment) {
+  if (experiment.name.empty())
+    throw std::invalid_argument("experiment name must be non-empty");
+  if (!experiment.run)
+    throw std::invalid_argument("experiment '" + experiment.name +
+                                "' has no run function");
+  if (find_experiment(experiment.name))
+    throw std::invalid_argument("experiment '" + experiment.name +
+                                "' registered twice");
+  registry().push_back(std::make_unique<Experiment>(std::move(experiment)));
+}
+
+const Experiment* find_experiment(std::string_view name) {
+  for (const auto& e : registry())
+    if (e->name == name) return e.get();
+  return nullptr;
+}
+
+const Experiment& get_experiment(std::string_view name) {
+  if (const Experiment* e = find_experiment(name)) return *e;
+  std::ostringstream os;
+  os << "unknown experiment '" << name << "'; registered:";
+  for (const Experiment* e : all_experiments()) os << ' ' << e->name;
+  throw std::out_of_range(os.str());
+}
+
+std::vector<const Experiment*> all_experiments() {
+  std::vector<const Experiment*> out;
+  for (const auto& e : registry()) out.push_back(e.get());
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+}  // namespace meecc::runtime

@@ -1,0 +1,32 @@
+// Process-wide experiment registry.
+//
+// Experiments register by name; the driver binary resolves names from the
+// command line, tests look up what they need, and `list` walks everything.
+// Built-in experiments live in experiments_*.cc and are installed by an
+// explicit register_builtin_experiments() call (see experiments.h) — no
+// static-initializer link-order tricks, which do not survive static
+// libraries anyway.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "runtime/experiment.h"
+
+namespace meecc::runtime {
+
+/// Installs an experiment. Throws std::invalid_argument on an empty name,
+/// a missing run function, or a duplicate registration.
+void register_experiment(Experiment experiment);
+
+/// nullptr when no experiment has that name.
+const Experiment* find_experiment(std::string_view name);
+
+/// Like find_experiment but throws std::out_of_range with a message that
+/// lists the registered names — the driver's error path.
+const Experiment& get_experiment(std::string_view name);
+
+/// All registered experiments, sorted by name.
+std::vector<const Experiment*> all_experiments();
+
+}  // namespace meecc::runtime

@@ -1,0 +1,63 @@
+#include "runtime/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace meecc::runtime {
+
+namespace {
+
+TrialRecord run_one(const Experiment& experiment, const TrialSpec& spec) {
+  TrialRecord record;
+  record.spec = spec;
+  try {
+    record.result = experiment.run(spec);
+    record.ok = true;
+  } catch (const std::exception& e) {
+    record.error = e.what();
+  } catch (...) {
+    record.error = "unknown exception";
+  }
+  return record;
+}
+
+}  // namespace
+
+std::vector<TrialRecord> run_trials(const Experiment& experiment,
+                                    const std::vector<TrialSpec>& trials,
+                                    const RunnerConfig& config) {
+  std::vector<TrialRecord> records(trials.size());
+
+  unsigned jobs = config.jobs ? config.jobs : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, std::max<std::size_t>(trials.size(), 1)));
+
+  std::mutex callback_mutex;
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      records[i] = run_one(experiment, trials[i]);
+      if (config.on_trial) {
+        const std::lock_guard<std::mutex> lock(callback_mutex);
+        config.on_trial(records[i]);
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+    return records;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return records;
+}
+
+}  // namespace meecc::runtime

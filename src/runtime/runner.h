@@ -1,0 +1,38 @@
+// The parallel trial runner.
+//
+// Each trial builds its own sim::System from its TrialSpec, so trials share
+// no mutable state and the pool is embarrassingly parallel. Results land in
+// a vector slot per trial_index, and every trial's seed comes from the spec
+// — output is bit-identical at any job count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.h"
+
+namespace meecc::runtime {
+
+struct TrialRecord {
+  TrialSpec spec;
+  TrialResult result;  ///< valid when ok
+  bool ok = false;
+  std::string error;  ///< exception text when !ok
+};
+
+struct RunnerConfig {
+  unsigned jobs = 1;  ///< worker threads; 0 means hardware_concurrency()
+  /// Completion callback (progress reporting). Called from worker threads
+  /// under an internal mutex, in completion order — NOT trial order.
+  std::function<void(const TrialRecord&)> on_trial;
+};
+
+/// Runs every trial through experiment.run. A throwing trial is recorded
+/// (ok=false, error=what()) without aborting the sweep. The returned vector
+/// is in trial order regardless of completion order.
+std::vector<TrialRecord> run_trials(const Experiment& experiment,
+                                    const std::vector<TrialSpec>& trials,
+                                    const RunnerConfig& config);
+
+}  // namespace meecc::runtime

@@ -1,0 +1,127 @@
+#include "runtime/sink.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "runtime/experiment.h"
+
+namespace meecc::runtime {
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "null";  // JSON has no NaN
+  if (std::isinf(value)) return value > 0 ? "1e999" : "-1e999";
+  char buf[40];
+  // %.17g round-trips every double; integers still print bare ("15000").
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json_line(const TrialRecord& record) {
+  std::string out = "{\"experiment\":\"";
+  out += json_escape(record.spec.experiment);
+  out += "\",\"trial\":" + std::to_string(record.spec.trial_index);
+  out += ",\"seed\":" + std::to_string(record.spec.seed);
+  out += ",\"params\":{";
+  for (std::size_t i = 0; i < record.spec.params.size(); ++i) {
+    const auto& [key, value] = record.spec.params[i];
+    if (i) out += ',';
+    out += '"' + json_escape(key) + "\":\"" + json_escape(value) + '"';
+  }
+  out += "},\"ok\":";
+  out += record.ok ? "true" : "false";
+  if (!record.ok) {
+    out += ",\"error\":\"" + json_escape(record.error) + '"';
+    return out + '}';
+  }
+  out += ",\"metrics\":{";
+  for (std::size_t i = 0; i < record.result.metrics.size(); ++i) {
+    const auto& [key, value] = record.result.metrics[i];
+    if (i) out += ',';
+    out += '"' + json_escape(key) + "\":" + format_double(value);
+  }
+  out += '}';
+  if (!record.result.series.empty()) {
+    out += ",\"series\":{";
+    for (std::size_t i = 0; i < record.result.series.size(); ++i) {
+      const auto& series = record.result.series[i];
+      if (i) out += ',';
+      out += '"' + json_escape(series.name) + "\":[";
+      for (std::size_t j = 0; j < series.values.size(); ++j) {
+        if (j) out += ',';
+        out += format_double(series.values[j]);
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  return out + '}';
+}
+
+void write_jsonl(std::ostream& out, const std::vector<TrialRecord>& records) {
+  for (const TrialRecord& record : records) out << to_json_line(record) << '\n';
+}
+
+Table summary_table(const std::vector<TrialRecord>& records,
+                    const std::vector<std::string>& param_columns) {
+  // Metric columns come from the first successful record; experiments emit
+  // a stable metric set, so this is the whole sweep's schema.
+  std::vector<std::string> metric_names;
+  for (const TrialRecord& record : records) {
+    if (!record.ok) continue;
+    for (const auto& [name, value] : record.result.metrics)
+      metric_names.push_back(name);
+    break;
+  }
+
+  std::vector<std::string> header = {"trial", "seed"};
+  header.insert(header.end(), param_columns.begin(), param_columns.end());
+  header.insert(header.end(), metric_names.begin(), metric_names.end());
+  Table table(header);
+
+  for (const TrialRecord& record : records) {
+    std::vector<std::string> row = {std::to_string(record.spec.trial_index),
+                                    std::to_string(record.spec.seed)};
+    for (const std::string& key : param_columns) {
+      const auto v = find_param(record.spec.params, key);
+      row.push_back(std::string(v.value_or("-")));
+    }
+    for (const std::string& name : metric_names) {
+      if (!record.ok) {
+        row.push_back("FAILED: " + record.error);
+        break;
+      }
+      const auto v = record.result.find_metric(name);
+      char buf[40];
+      if (v)
+        std::snprintf(buf, sizeof buf, "%.6g", *v);
+      row.push_back(v ? buf : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace meecc::runtime

@@ -1,0 +1,40 @@
+// Result sinks: JSON-lines for the machine-readable trajectory, and the
+// human-readable summary table built on common/table.h.
+//
+// JSONL output is deliberately deterministic — no timestamps, doubles
+// printed with round-trip precision — so `--jobs N` runs diff clean against
+// `--jobs 1` and downstream tooling can hash result files.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runtime/runner.h"
+
+namespace meecc::runtime {
+
+/// One JSON object per record:
+///   {"experiment":"fig7_window_sweep","trial":3,"seed":45,
+///    "params":{"window":"15000",...},"ok":true,
+///    "metrics":{"error_rate":0.017,...},"series":{"probe_times":[...]}}
+/// Failed trials carry "ok":false and "error" instead of metrics.
+std::string to_json_line(const TrialRecord& record);
+
+/// Writes to_json_line + '\n' for every record.
+void write_jsonl(std::ostream& out, const std::vector<TrialRecord>& records);
+
+/// Round-trip double formatting ("15000", "0.017000000000000001").
+std::string format_double(double value);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Summary table: one row per trial with trial index, seed, the given
+/// param columns, and every metric of the first successful record (failed
+/// trials show the error). `param_columns` is typically swept_keys().
+Table summary_table(const std::vector<TrialRecord>& records,
+                    const std::vector<std::string>& param_columns);
+
+}  // namespace meecc::runtime

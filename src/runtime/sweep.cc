@@ -1,0 +1,160 @@
+#include "runtime/sweep.h"
+
+#include <sstream>
+
+#include "runtime/params.h"
+
+namespace meecc::runtime {
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(list.substr(start));
+      break;
+    }
+    out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct ResolvedSweep {
+  ParamMap base;  ///< fixed params: experiment defaults, then --set
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+};
+
+bool experiment_param(const Experiment& experiment, std::string_view key) {
+  return find_param(experiment.default_params, key).has_value();
+}
+
+void check_key(const Experiment& experiment, const std::string& key) {
+  if (is_config_key(key) || experiment_param(experiment, key)) return;
+  std::ostringstream os;
+  os << "unknown parameter '" << key << "' for experiment '" << experiment.name
+     << "'; experiment parameters:";
+  for (const auto& [k, v] : experiment.default_params)
+    os << ' ' << k << "(=" << v << ")";
+  os << "; shared config keys: see `meecc_bench describe`";
+  throw ParamError(os.str());
+}
+
+// Bad values should fail before any trial runs, not in a worker thread
+// mid-sweep.
+void check_value(const std::string& key, const std::string& value) {
+  if (!is_config_key(key)) return;
+  channel::TestBedConfig scratch = channel::default_testbed_config(0);
+  apply_override(scratch, key, value);
+}
+
+ResolvedSweep resolve(const Experiment& experiment, const SweepSpec& spec) {
+  ResolvedSweep out;
+  out.base = experiment.default_params;
+
+  // Default axes, minus any the CLI pins with --set or replaces with
+  // --sweep.
+  for (const auto& [key, csv] : experiment.default_sweeps) {
+    bool overridden = find_param(spec.sets, key).has_value();
+    for (const auto& [cli_key, values] : spec.axes)
+      overridden = overridden || cli_key == key;
+    if (!overridden) out.axes.emplace_back(key, split_csv(csv));
+  }
+  for (const auto& [key, values] : spec.axes) {
+    if (find_param(spec.sets, key))
+      throw ParamError("parameter '" + key +
+                       "' given to both --set and --sweep");
+    check_key(experiment, key);
+    if (values.empty())
+      throw ParamError("--sweep " + key + " has no values");
+    for (const auto& v : values) check_value(key, v);
+    out.axes.emplace_back(key, values);
+  }
+  for (const auto& [key, value] : spec.sets) {
+    check_key(experiment, key);
+    check_value(key, value);
+    set_param(out.base, key, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> split_key_value(const std::string& arg) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw ParamError("expected key=value, got '" + arg + "'");
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+std::vector<std::string> parse_sweep_args(const std::vector<std::string>& args,
+                                          SweepSpec* spec) {
+  std::vector<std::string> leftover;
+  auto take_value = [&](std::size_t& i, const std::string& flag) {
+    if (i + 1 >= args.size())
+      throw ParamError(flag + " needs an argument");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--set") {
+      spec->sets.push_back(split_key_value(take_value(i, arg)));
+    } else if (arg == "--sweep") {
+      auto [key, csv] = split_key_value(take_value(i, arg));
+      spec->axes.emplace_back(std::move(key), split_csv(csv));
+    } else if (arg == "--seeds") {
+      const std::string v = take_value(i, arg);
+      spec->seeds = static_cast<int>(parse_u64("--seeds", v));
+      if (spec->seeds < 1) throw ParamError("--seeds must be >= 1");
+    } else if (arg == "--seed") {
+      spec->base_seed = parse_u64("--seed", take_value(i, arg));
+    } else {
+      leftover.push_back(arg);
+    }
+  }
+  return leftover;
+}
+
+std::vector<TrialSpec> expand_sweep(const Experiment& experiment,
+                                    const SweepSpec& spec) {
+  const ResolvedSweep resolved = resolve(experiment, spec);
+
+  // Odometer over the axes (first axis slowest), seeds innermost.
+  std::vector<std::size_t> digits(resolved.axes.size(), 0);
+  std::vector<TrialSpec> trials;
+  for (;;) {
+    ParamMap params = resolved.base;
+    for (std::size_t a = 0; a < resolved.axes.size(); ++a)
+      set_param(params, resolved.axes[a].first,
+                resolved.axes[a].second[digits[a]]);
+    for (int s = 0; s < spec.seeds; ++s) {
+      TrialSpec trial;
+      trial.experiment = experiment.name;
+      trial.trial_index = trials.size();
+      trial.seed = spec.base_seed + static_cast<std::uint64_t>(s);
+      trial.params = params;
+      trials.push_back(std::move(trial));
+    }
+    std::size_t a = resolved.axes.size();
+    while (a > 0) {
+      --a;
+      if (++digits[a] < resolved.axes[a].second.size()) break;
+      digits[a] = 0;
+      if (a == 0) return trials;
+    }
+    if (resolved.axes.empty()) return trials;
+  }
+}
+
+std::vector<std::string> swept_keys(const Experiment& experiment,
+                                    const SweepSpec& spec) {
+  std::vector<std::string> out;
+  for (const auto& [key, values] : resolve(experiment, spec).axes)
+    if (values.size() > 1) out.push_back(key);
+  return out;
+}
+
+}  // namespace meecc::runtime

@@ -1,0 +1,53 @@
+// Declarative sweep expansion: CLI-shaped overrides in, the cross-product
+// of TrialSpecs out.
+//
+//   --set key=value      fix one parameter (replaces any default sweep axis
+//                        on the same key)
+//   --sweep key=a,b,c    add a sweep axis (cross-multiplied in order)
+//   --seeds N            N seeds per parameter combination
+//   --seed BASE          base seed; trial s uses BASE + s
+//
+// Expansion order is deterministic: axes iterate in declaration order
+// (experiment defaults first, then CLI), seeds innermost — so trial_index,
+// and with it every trial's seed, is independent of worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.h"
+
+namespace meecc::runtime {
+
+struct SweepSpec {
+  ParamMap sets;  ///< --set overrides, in CLI order (later wins)
+  /// --sweep axes: key -> values, in CLI order.
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+  int seeds = 1;
+  std::uint64_t base_seed = 42;
+};
+
+/// Consumes the sweep-shaped flags from `args`, returning any it does not
+/// recognise (the caller handles those or rejects them). Throws ParamError
+/// on malformed input (missing '=', empty value list, bad --seeds).
+std::vector<std::string> parse_sweep_args(const std::vector<std::string>& args,
+                                          SweepSpec* spec);
+
+/// Splits "key=value"; throws ParamError when '=' is missing or the key is
+/// empty.
+std::pair<std::string, std::string> split_key_value(const std::string& arg);
+
+/// Expands experiment defaults + the CLI spec into concrete TrialSpecs.
+/// Validates every key against the shared config table (params.h) and the
+/// experiment's default_params; unknown keys throw ParamError, as do values
+/// the config table cannot parse.
+std::vector<TrialSpec> expand_sweep(const Experiment& experiment,
+                                    const SweepSpec& spec);
+
+/// The swept keys of the expansion (axis keys with >1 value), for summary
+/// table columns.
+std::vector<std::string> swept_keys(const Experiment& experiment,
+                                    const SweepSpec& spec);
+
+}  // namespace meecc::runtime

@@ -67,7 +67,9 @@ TEST(Candidates, FourKStrideSameOffset) {
   ASSERT_EQ(set.size(), 10u);
   for (std::size_t i = 0; i < set.size(); ++i) {
     EXPECT_EQ(set[i].page_offset(), 3u * kChunkSize);
-    if (i > 0) EXPECT_EQ(set[i] - set[i - 1], kPageSize);
+    if (i > 0) {
+      EXPECT_EQ(set[i] - set[i - 1], kPageSize);
+    }
   }
 }
 

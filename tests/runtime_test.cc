@@ -1,0 +1,294 @@
+// Tests for the experiment runtime: registry lookup, declarative sweep
+// expansion, the string-keyed config override table, JSONL emission, and
+// runner determinism across worker counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "channel/testbed.h"
+#include "runtime/experiments.h"
+#include "runtime/params.h"
+#include "runtime/registry.h"
+#include "runtime/runner.h"
+#include "runtime/sink.h"
+#include "runtime/sweep.h"
+
+namespace meecc::runtime {
+namespace {
+
+// A cheap deterministic experiment for runner/sink tests: metrics are pure
+// functions of (seed, params).
+Experiment synthetic(const std::string& name) {
+  Experiment e;
+  e.name = name;
+  e.description = "test";
+  e.default_params = {{"a", "1"}, {"b", "10"}};
+  e.run = [](const TrialSpec& spec) {
+    TrialResult out;
+    const double a = param_double(spec, "a", 0);
+    const double b = param_double(spec, "b", 0);
+    out.metric("value", static_cast<double>(spec.seed) * 1000 + a * 100 + b);
+    out.metric("third", a / 3.0);  // exercises non-terminating decimals
+    return out;
+  };
+  return e;
+}
+
+TEST(Registry, LookupAndUnknownName) {
+  register_builtin_experiments();
+  const Experiment* fig7 = find_experiment("fig7_window_sweep");
+  ASSERT_NE(fig7, nullptr);
+  EXPECT_EQ(fig7->name, "fig7_window_sweep");
+  EXPECT_GE(all_experiments().size(), 6u);  // driver's `list` contract
+
+  EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+  try {
+    get_experiment("no_such_experiment");
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The error names the registered experiments so CLI typos are fixable.
+    EXPECT_NE(std::string(e.what()).find("fig7_window_sweep"),
+              std::string::npos);
+  }
+}
+
+TEST(Registry, RejectsDuplicatesAndInvalid) {
+  register_builtin_experiments();
+  EXPECT_THROW(register_experiment(synthetic("fig7_window_sweep")),
+               std::invalid_argument);
+  Experiment unnamed = synthetic("");
+  EXPECT_THROW(register_experiment(std::move(unnamed)),
+               std::invalid_argument);
+  Experiment no_run = synthetic("runtime_test_no_run");
+  no_run.run = nullptr;
+  EXPECT_THROW(register_experiment(std::move(no_run)),
+               std::invalid_argument);
+}
+
+TEST(Params, ParsersAndOverrideTable) {
+  EXPECT_EQ(parse_size("k", "512"), 512u);
+  EXPECT_EQ(parse_size("k", "64K"), 64u * 1024);
+  EXPECT_EQ(parse_size("k", "32m"), 32ull << 20);
+  EXPECT_EQ(parse_size("k", "2G"), 2ull << 30);
+  EXPECT_THROW(parse_size("k", "64Q"), ParamError);
+  EXPECT_THROW(parse_u64("k", "12x"), ParamError);
+  EXPECT_THROW(parse_u64("k", ""), ParamError);
+  EXPECT_TRUE(parse_bool("k", "true"));
+  EXPECT_FALSE(parse_bool("k", "off"));
+  EXPECT_THROW(parse_bool("k", "maybe"), ParamError);
+
+  channel::TestBedConfig config = channel::default_testbed_config(1);
+  EXPECT_TRUE(apply_override(config, "noise", "mee4k"));
+  EXPECT_EQ(config.noise, channel::NoiseEnv::kMeeStride4K);
+  EXPECT_TRUE(apply_override(config, "epc_placement", "randomized"));
+  EXPECT_EQ(config.system.epc_placement, mem::EpcPlacement::kRandomized);
+  EXPECT_TRUE(apply_override(config, "epc_size", "64M"));
+  EXPECT_EQ(config.system.address_map.epc_size, 64ull << 20);
+  EXPECT_TRUE(apply_override(config, "mee.ways", "4"));
+  EXPECT_EQ(config.system.mee.cache_geometry.ways, 4u);
+  EXPECT_FALSE(apply_override(config, "not_a_key", "1"));
+  EXPECT_THROW(apply_override(config, "noise", "hurricane"), ParamError);
+
+  EXPECT_TRUE(is_config_key("functional_crypto"));
+  EXPECT_FALSE(is_config_key("bits"));
+}
+
+TEST(Params, NoiseEnvTokensRoundTrip) {
+  using channel::NoiseEnv;
+  for (const NoiseEnv env :
+       {NoiseEnv::kNone, NoiseEnv::kMemoryStress, NoiseEnv::kMeeStride512,
+        NoiseEnv::kMeeStride4K}) {
+    const auto parsed = channel::noise_env_from_string(to_token(env));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, env);
+  }
+  EXPECT_FALSE(channel::noise_env_from_string("hurricane").has_value());
+}
+
+TEST(Sweep, ParseArgs) {
+  SweepSpec spec;
+  const auto leftover = parse_sweep_args(
+      {"--set", "a=2", "--sweep", "b=10,20,30", "--seeds", "3", "--seed",
+       "100", "--jobs", "4"},
+      &spec);
+  EXPECT_EQ(leftover, (std::vector<std::string>{"--jobs", "4"}));
+  ASSERT_EQ(spec.sets.size(), 1u);
+  EXPECT_EQ(spec.sets[0], (std::pair<std::string, std::string>{"a", "2"}));
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].second,
+            (std::vector<std::string>{"10", "20", "30"}));
+  EXPECT_EQ(spec.seeds, 3);
+  EXPECT_EQ(spec.base_seed, 100u);
+}
+
+TEST(Sweep, BadArgsThrow) {
+  SweepSpec spec;
+  EXPECT_THROW(parse_sweep_args({"--set", "novalue"}, &spec), ParamError);
+  EXPECT_THROW(parse_sweep_args({"--set", "=v"}, &spec), ParamError);
+  EXPECT_THROW(parse_sweep_args({"--set"}, &spec), ParamError);
+  EXPECT_THROW(parse_sweep_args({"--seeds", "0"}, &spec), ParamError);
+  EXPECT_THROW(parse_sweep_args({"--seeds", "three"}, &spec), ParamError);
+}
+
+TEST(Sweep, CrossProductExpansion) {
+  const Experiment e = synthetic("runtime_test_expand");
+  SweepSpec spec;
+  spec.axes = {{"a", {"1", "2", "3"}}, {"b", {"10", "20"}}};
+  spec.seeds = 2;
+  spec.base_seed = 7;
+  const auto trials = expand_sweep(e, spec);
+  ASSERT_EQ(trials.size(), 3u * 2u * 2u);
+  // First axis slowest, seeds innermost; trial_index and seeds are
+  // deterministic.
+  EXPECT_EQ(*find_param(trials[0].params, "a"), "1");
+  EXPECT_EQ(*find_param(trials[0].params, "b"), "10");
+  EXPECT_EQ(trials[0].seed, 7u);
+  EXPECT_EQ(trials[1].seed, 8u);
+  EXPECT_EQ(*find_param(trials[2].params, "b"), "20");
+  EXPECT_EQ(*find_param(trials[4].params, "a"), "2");
+  EXPECT_EQ(*find_param(trials[4].params, "b"), "10");
+  EXPECT_EQ(*find_param(trials[11].params, "a"), "3");
+  EXPECT_EQ(*find_param(trials[11].params, "b"), "20");
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    EXPECT_EQ(trials[i].trial_index, i);
+
+  EXPECT_EQ(swept_keys(e, spec), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Sweep, DefaultSweepsAndSetOverride) {
+  register_builtin_experiments();
+  const Experiment& fig7 = get_experiment("fig7_window_sweep");
+  // Default reproduces the figure: 7 windows.
+  EXPECT_EQ(expand_sweep(fig7, SweepSpec{}).size(), 7u);
+  // Pinning the swept key collapses the default axis.
+  SweepSpec pinned;
+  pinned.sets = {{"window", "15000"}};
+  const auto trials = expand_sweep(fig7, pinned);
+  ASSERT_EQ(trials.size(), 1u);
+  EXPECT_EQ(*find_param(trials[0].params, "window"), "15000");
+  // Replacing the axis via --sweep wins over the default axis.
+  SweepSpec swept;
+  swept.axes = {{"window", {"10000", "20000"}}};
+  EXPECT_EQ(expand_sweep(fig7, swept).size(), 2u);
+}
+
+TEST(Sweep, RejectsUnknownKeysAndBadValues) {
+  const Experiment e = synthetic("runtime_test_validate");
+  SweepSpec unknown;
+  unknown.sets = {{"definitely_not_a_param", "1"}};
+  EXPECT_THROW(expand_sweep(e, unknown), ParamError);
+
+  SweepSpec bad_value;
+  bad_value.sets = {{"cores", "lots"}};  // config key, junk value
+  EXPECT_THROW(expand_sweep(e, bad_value), ParamError);
+
+  SweepSpec conflict;
+  conflict.sets = {{"a", "1"}};
+  conflict.axes = {{"a", {"1", "2"}}};
+  EXPECT_THROW(expand_sweep(e, conflict), ParamError);
+
+  SweepSpec empty_axis;
+  empty_axis.axes = {{"a", {}}};
+  EXPECT_THROW(expand_sweep(e, empty_axis), ParamError);
+}
+
+TEST(Sink, JsonLineShape) {
+  TrialRecord record;
+  record.spec.experiment = "quote\"test";
+  record.spec.trial_index = 3;
+  record.spec.seed = 45;
+  record.spec.params = {{"window", "15000"}};
+  record.ok = true;
+  record.result.metric("error_rate", 0.25);
+  record.result.add_series("trace", {1.0, 2.5});
+  EXPECT_EQ(to_json_line(record),
+            "{\"experiment\":\"quote\\\"test\",\"trial\":3,\"seed\":45,"
+            "\"params\":{\"window\":\"15000\"},\"ok\":true,"
+            "\"metrics\":{\"error_rate\":0.25},"
+            "\"series\":{\"trace\":[1,2.5]}}");
+
+  TrialRecord failed;
+  failed.spec.experiment = "x";
+  failed.error = "boom\n";
+  EXPECT_EQ(to_json_line(failed),
+            "{\"experiment\":\"x\",\"trial\":0,\"seed\":0,\"params\":{},"
+            "\"ok\":false,\"error\":\"boom\\n\"}");
+}
+
+TEST(Runner, SyntheticDeterminismAcrossJobCounts) {
+  const Experiment e = synthetic("runtime_test_runner");
+  SweepSpec spec;
+  spec.axes = {{"a", {"1", "2", "3", "4"}}, {"b", {"10", "20", "30"}}};
+  spec.seeds = 3;
+  const auto trials = expand_sweep(e, spec);
+  ASSERT_EQ(trials.size(), 36u);
+
+  RunnerConfig serial;
+  serial.jobs = 1;
+  RunnerConfig parallel;
+  parallel.jobs = 4;
+  const auto a = run_trials(e, trials, serial);
+  const auto b = run_trials(e, trials, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(to_json_line(a[i]), to_json_line(b[i])) << "trial " << i;
+}
+
+TEST(Runner, TrialFailureIsRecordedNotFatal) {
+  Experiment e;
+  e.name = "runtime_test_failing";
+  e.run = [](const TrialSpec& spec) -> TrialResult {
+    if (spec.seed % 2 == 0) throw std::runtime_error("even seeds fail");
+    TrialResult out;
+    out.metric("ok", 1);
+    return out;
+  };
+  std::vector<TrialSpec> trials(4);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    trials[i].trial_index = i;
+    trials[i].seed = i;
+  }
+  std::atomic<int> callbacks{0};
+  RunnerConfig config{.jobs = 2, .on_trial = [&](const TrialRecord&) {
+                        ++callbacks;
+                      }};
+  const auto records = run_trials(e, trials, config);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(callbacks.load(), 4);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].ok, i % 2 == 1);
+    if (!records[i].ok) {
+      EXPECT_EQ(records[i].error, "even seeds fail");
+    }
+  }
+}
+
+// The acceptance-criteria shape on a real experiment: a registered
+// simulator experiment produces bit-identical results at --jobs 1 and
+// --jobs 4 with the same seeds. Trimmed payload keeps it test-sized.
+TEST(Runner, Fig7DeterminismAcrossJobCounts) {
+  register_builtin_experiments();
+  const Experiment& fig7 = get_experiment("fig7_window_sweep");
+  SweepSpec spec;
+  spec.sets = {{"bits", "48"}};
+  spec.axes = {{"window", {"10000", "15000"}}};
+  spec.seeds = 2;
+  const auto trials = expand_sweep(fig7, spec);
+  ASSERT_EQ(trials.size(), 4u);
+
+  RunnerConfig one_job;
+  one_job.jobs = 1;
+  RunnerConfig four_jobs;
+  four_jobs.jobs = 4;
+  const auto serial = run_trials(fig7, trials, one_job);
+  const auto parallel = run_trials(fig7, trials, four_jobs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(to_json_line(serial[i]), to_json_line(parallel[i]))
+        << "trial " << i;
+  }
+}
+
+}  // namespace
+}  // namespace meecc::runtime

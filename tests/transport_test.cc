@@ -193,7 +193,9 @@ TEST(Framing, HeavyCorruptionFailsCrcNotCrash) {
   for (auto& b : bits)
     if (rng.chance(0.4)) b ^= 1;
   const auto decoded = decode_message(bits);
-  if (decoded.has_value()) EXPECT_FALSE(decoded->crc_ok && decoded->payload == message);
+  if (decoded.has_value()) {
+    EXPECT_FALSE(decoded->crc_ok && decoded->payload == message);
+  }
 }
 
 TEST(Framing, RepetitionRoundTripAndHeavyNoise) {
