@@ -4,20 +4,26 @@
 //   meecc_bench describe <experiment>
 //   meecc_bench run <experiment> [--set k=v]... [--sweep k=a,b,c]...
 //                   [--seeds N] [--seed BASE] [--jobs N] [--json PATH]
-//                   [--artifacts] [--quiet]
+//                   [--counters] [--trace PATH] [--trace-chrome PATH]
+//                   [--trace-sample N] [--artifacts] [--quiet]
 //
 // `run` expands the declarative sweep into the cross-product of trials,
 // executes them on a worker pool (one simulator per trial — results are
 // bit-identical at any --jobs value), prints the summary table, and with
-// --json writes one JSON line per trial ("-" for stdout).
+// --json writes one JSON line per trial ("-" for stdout). --counters prints
+// the merged observability counters of the whole sweep; --trace streams
+// every simulator trace event as JSONL (--trace-chrome: Chrome trace_event
+// JSON for chrome://tracing / Perfetto). Tracing forces --jobs 1.
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "obs/trace.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
 #include "runtime/registry.h"
@@ -43,6 +49,10 @@ int usage(std::FILE* out) {
       "      --jobs N              worker threads (default 1; 0 = all cores)\n"
       "      --json PATH           JSONL results, one line per trial ('-' = "
       "stdout)\n"
+      "      --counters            print the sweep's merged counter table\n"
+      "      --trace PATH          trace events as JSONL (forces --jobs 1)\n"
+      "      --trace-chrome PATH   trace events as Chrome trace_event JSON\n"
+      "      --trace-sample N      keep every Nth trace event (default 1)\n"
       "      --artifacts           print per-trial charts/tables even for "
       "sweeps\n"
       "      --quiet               no per-trial progress on stderr\n");
@@ -86,8 +96,9 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
 
   runtime::SweepSpec sweep;
   unsigned jobs = 1;
-  std::string json_path;
-  bool quiet = false, force_artifacts = false;
+  std::string json_path, trace_path, trace_chrome_path;
+  std::uint64_t trace_sample = 1;
+  bool quiet = false, force_artifacts = false, show_counters = false;
   const std::vector<std::string> rest =
       runtime::parse_sweep_args(args, &sweep);
   for (std::size_t i = 0; i < rest.size(); ++i) {
@@ -101,6 +112,15 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       jobs = static_cast<unsigned>(runtime::parse_u64("--jobs", value()));
     } else if (arg == "--json") {
       json_path = value();
+    } else if (arg == "--counters") {
+      show_counters = true;
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--trace-chrome") {
+      trace_chrome_path = value();
+    } else if (arg == "--trace-sample") {
+      trace_sample = runtime::parse_u64("--trace-sample", value());
+      if (trace_sample == 0) trace_sample = 1;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--artifacts") {
@@ -121,9 +141,38 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
                  experiment.name.c_str(), trials.size(),
                  trials.size() == 1 ? "" : "s", jobs == 0 ? 0 : jobs,
                  jobs == 1 ? "" : "s");
+  // Trace plumbing: file stream → (JSONL or Chrome) sink → optional
+  // sampling decimator. The runner serializes trials when a sink is set.
+  std::ofstream trace_out;
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  std::unique_ptr<obs::SamplingSink> sampler;
+  if (!trace_path.empty() && !trace_chrome_path.empty()) {
+    std::fprintf(stderr, "--trace and --trace-chrome are exclusive\n");
+    return 2;
+  }
+  if (!trace_path.empty() || !trace_chrome_path.empty()) {
+    const std::string& path =
+        trace_path.empty() ? trace_chrome_path : trace_path;
+    trace_out.open(path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+      return 1;
+    }
+    if (trace_path.empty())
+      trace_sink = std::make_unique<obs::ChromeTraceSink>(trace_out);
+    else
+      trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_out);
+  }
+
   std::size_t completed = 0;
   runtime::RunnerConfig runner;
   runner.jobs = jobs;
+  if (trace_sink) {
+    if (trace_sample > 1)
+      sampler = std::make_unique<obs::SamplingSink>(*trace_sink, trace_sample);
+    runner.trace_sink = sampler ? static_cast<obs::TraceSink*>(sampler.get())
+                                : trace_sink.get();
+  }
   if (!quiet) {
     runner.on_trial = [&](const runtime::TrialRecord& record) {
       ++completed;
@@ -142,6 +191,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
 
   const std::vector<runtime::TrialRecord> records =
       runtime::run_trials(experiment, trials, runner);
+  if (runner.trace_sink) runner.trace_sink->flush();
 
   // With --json - the JSONL stream owns stdout; human output moves to stderr.
   std::FILE* human = json_path == "-" ? stderr : stdout;
@@ -152,6 +202,12 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   }
   std::fprintf(human, "%s",
                runtime::summary_table(records, columns).to_text().c_str());
+  if (show_counters) {
+    const auto merged = runtime::merge_counters(records);
+    std::fprintf(human, "\nmerged counters (%zu trial%s):\n%s",
+                 records.size(), records.size() == 1 ? "" : "s",
+                 runtime::counters_table(merged).to_text().c_str());
+  }
 
   if (!json_path.empty()) {
     if (json_path == "-") {

@@ -1,18 +1,36 @@
 #!/usr/bin/env bash
 # CI entry point: build the plain and sanitized (ASan+UBSan) configurations,
-# run the full test suite in both, then smoke the experiment runtime's
-# determinism contract (bit-identical JSONL at --jobs 1 vs --jobs 4).
+# run the test suite in both — unit-labelled tests first so cheap component
+# breakage fails fast, then the integration/property tiers — and finally
+# smoke the experiment runtime's determinism contract (bit-identical JSONL,
+# counters included, at --jobs 1 vs --jobs 4).
+#
+# Diagnostics for upload-on-failure land in $ROOT/ci-artifacts (golden-trace
+# diff, counters JSONL); build trees also leave obs_artifacts/ dirs behind.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
+ARTIFACTS="$ROOT/ci-artifacts"
+mkdir -p "$ARTIFACTS"
+
+collect_artifacts() {
+  # Golden-trace mismatch dumps live under <build>/obs_artifacts.
+  local dir
+  for dir in "$ROOT"/build-ci-*/obs_artifacts; do
+    [ -d "$dir" ] && cp -r "$dir" "$ARTIFACTS/$(basename "$(dirname "$dir")")-obs" || true
+  done
+}
+trap collect_artifacts EXIT
 
 build_and_test() {
   local dir="$1"
   shift
   cmake -B "$dir" -S "$ROOT" "$@"
   cmake --build "$dir" -j "$JOBS"
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  # Unit tier first: fails fast on single-component breakage.
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L unit
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -LE unit
 }
 
 echo "=== plain build (warnings are errors) ==="
@@ -23,16 +41,21 @@ echo "=== sanitized build (ASan+UBSan) ==="
 build_and_test "$ROOT/build-ci-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_SANITIZE=ON
 
-echo "=== runtime determinism smoke ==="
+echo "=== sanitized observability pass ==="
+# The obs hot paths (counter handles, trace emission) get an explicit
+# sanitized run: UB here would silently skew every experiment's metrics.
+"$ROOT/build-ci-asan/tests/obs_test"
+
+echo "=== runtime determinism smoke (counters ride in the JSONL) ==="
 BENCH="$ROOT/build-ci-plain/bench/meecc_bench"
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
 "$BENCH" run fig7_window_sweep --set bits=96 --seeds 4 --jobs 4 \
-  --json "$TMP/j4.jsonl" --quiet > /dev/null
+  --json "$ARTIFACTS/counters-j4.jsonl" --quiet > /dev/null
 "$BENCH" run fig7_window_sweep --set bits=96 --seeds 4 --jobs 1 \
-  --json "$TMP/j1.jsonl" --quiet > /dev/null
-cmp "$TMP/j1.jsonl" "$TMP/j4.jsonl"
-echo "jobs=1 and jobs=4 JSONL bit-identical ($(wc -l < "$TMP/j1.jsonl") trials)"
+  --json "$ARTIFACTS/counters-j1.jsonl" --quiet > /dev/null
+cmp "$ARTIFACTS/counters-j1.jsonl" "$ARTIFACTS/counters-j4.jsonl"
+grep -q '"counters":{' "$ARTIFACTS/counters-j1.jsonl"
+echo "jobs=1 and jobs=4 JSONL bit-identical ($(wc -l < "$ARTIFACTS/counters-j1.jsonl") trials, counters included)"
 
 "$BENCH" list
+rm -f "$ARTIFACTS/counters-j1.jsonl" "$ARTIFACTS/counters-j4.jsonl"
 echo "CI OK"

@@ -19,8 +19,8 @@ std::string_view to_string(HitLevel level) {
 }
 
 Hierarchy::Hierarchy(const HierarchyConfig& config, unsigned core_count,
-                     Rng rng)
-    : config_(config) {
+                     Rng rng, obs::Hub* hub)
+    : config_(config), hub_(hub) {
   MEECC_CHECK(core_count > 0);
   for (unsigned c = 0; c < core_count; ++c) {
     l1_.push_back(std::make_unique<SetAssocCache>(
@@ -30,29 +30,58 @@ Hierarchy::Hierarchy(const HierarchyConfig& config, unsigned core_count,
   }
   llc_ = std::make_unique<SetAssocCache>(config_.llc, config_.llc_replacement,
                                          rng.fork());
+  if (hub_ != nullptr) {
+    auto& registry = hub_->registry();
+    l1_counters_ = {registry.counter("cache.l1", "hits"),
+                    registry.counter("cache.l1", "misses")};
+    l2_counters_ = {registry.counter("cache.l2", "hits"),
+                    registry.counter("cache.l2", "misses")};
+    llc_counters_ = {registry.counter("cache.llc", "hits"),
+                     registry.counter("cache.llc", "misses")};
+    llc_evictions_ = registry.counter("cache.llc", "evictions");
+    clflushes_ = registry.counter("cache", "clflushes");
+  }
 }
 
-HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr) {
+HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr, Cycles now) {
   MEECC_CHECK(core.value < l1_.size());
   const PhysAddr line = addr.line_base();
   auto& l1 = *l1_[core.value];
   auto& l2 = *l2_[core.value];
 
-  if (l1.lookup(line)) return {HitLevel::kL1, config_.l1_latency};
+  if (l1.lookup(line)) {
+    l1_counters_.hits.inc();
+    return {HitLevel::kL1, config_.l1_latency};
+  }
+  l1_counters_.misses.inc();
 
   if (l2.lookup(line)) {
+    l2_counters_.hits.inc();
     l1.fill(line);
     return {HitLevel::kL2, config_.l2_latency};
   }
+  l2_counters_.misses.inc();
 
   if (llc_->lookup(line)) {
+    llc_counters_.hits.inc();
     l2.fill(line);
     l1.fill(line);
     return {HitLevel::kLlc, config_.llc_latency};
   }
+  llc_counters_.misses.inc();
 
   // Miss everywhere: fill inclusive, honoring back-invalidation.
-  if (const auto evicted = llc_->fill(line)) back_invalidate(*evicted);
+  if (const auto evicted = llc_->fill(line)) {
+    llc_evictions_.inc();
+    if (hub_ != nullptr && hub_->tracing())
+      hub_->trace({.cycle = now,
+                   .component = obs::Component::kCache,
+                   .core = core.value,
+                   .addr = evicted->raw,
+                   .kind = "evict",
+                   .outcome = "LLC"});
+    back_invalidate(*evicted);
+  }
   l2.fill(line);
   l1.fill(line);
   return {HitLevel::kMemory, config_.llc_latency};
@@ -60,6 +89,7 @@ HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr) {
 
 Cycles Hierarchy::clflush(PhysAddr addr) {
   const PhysAddr line = addr.line_base();
+  clflushes_.inc();
   llc_->invalidate(line);
   back_invalidate(line);
   return config_.clflush_latency;

@@ -13,6 +13,7 @@
 #include "cache/set_assoc_cache.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/hub.h"
 
 namespace meecc::cache {
 
@@ -41,11 +42,16 @@ struct HierarchyResult {
 
 class Hierarchy {
  public:
-  Hierarchy(const HierarchyConfig& config, unsigned core_count, Rng rng);
+  /// `hub` (optional, borrowed) receives per-level hit/miss/eviction
+  /// counters under cache.l1 / cache.l2 / cache.llc and eviction trace
+  /// events; it must outlive the hierarchy.
+  Hierarchy(const HierarchyConfig& config, unsigned core_count, Rng rng,
+            obs::Hub* hub = nullptr);
 
   /// Performs one data access from `core`, filling all levels on miss
   /// (inclusive fill). LLC evictions back-invalidate every private cache.
-  HierarchyResult access(CoreId core, PhysAddr addr);
+  /// `now` only timestamps trace events; it does not affect behaviour.
+  HierarchyResult access(CoreId core, PhysAddr addr, Cycles now = 0);
 
   /// clflush semantics: removes the line from LLC and all private caches.
   /// Returns the modelled instruction latency.
@@ -70,6 +76,17 @@ class Hierarchy {
   std::vector<std::unique_ptr<SetAssocCache>> l1_;
   std::vector<std::unique_ptr<SetAssocCache>> l2_;
   std::unique_ptr<SetAssocCache> llc_;
+
+  obs::Hub* hub_ = nullptr;
+  struct LevelCounters {
+    obs::Counter hits;
+    obs::Counter misses;
+  };
+  LevelCounters l1_counters_;
+  LevelCounters l2_counters_;
+  LevelCounters llc_counters_;
+  obs::Counter llc_evictions_;
+  obs::Counter clflushes_;
 };
 
 }  // namespace meecc::cache

@@ -5,6 +5,7 @@
 #include "channel/candidates.h"
 #include "channel/primitives.h"
 #include "common/check.h"
+#include "obs/hub.h"
 
 namespace meecc::channel {
 namespace {
@@ -72,6 +73,11 @@ struct TransferShared {
 sim::Process transfer_sender(sim::Actor& actor, std::vector<VirtAddr> set,
                              std::vector<std::uint8_t> bits,
                              ChannelConfig config, TransferShared* shared) {
+  obs::Hub& hub = actor.system().hub();
+  auto group = hub.registry().group("channel");
+  obs::Counter ones = group.counter("send.ones");
+  obs::Counter zeros = group.counter("send.zeros");
+
   // Warmup eviction well before T0: loads the trojan's versions lines (a
   // cold first '1' costs ~13k instead of ~9k cycles) and puts the monitor
   // line's way into the replacement orbit the steady-state eviction works
@@ -90,13 +96,24 @@ sim::Process transfer_sender(sim::Actor& actor, std::vector<VirtAddr> set,
     const Cycles jitter = actor.rng().next_below(config.sync_jitter + 1);
     co_await actor.sleep_until(window_start + jitter);
     if (bits[i] != 0) {
+      ones.inc();
       std::vector<VirtAddr> order = set;
       std::rotate(order.begin(),
                   order.begin() + static_cast<std::ptrdiff_t>(
                                       rotation++ % order.size()),
                   order.end());
       co_await evict_two_phase(actor, order);
+    } else {
+      zeros.inc();
     }
+    if (hub.tracing())
+      hub.trace({.cycle = actor.now(),
+                 .component = obs::Component::kChannel,
+                 .core = actor.core().value,
+                 .addr = 0,
+                 .kind = "send",
+                 .outcome = bits[i] != 0 ? "one" : "zero",
+                 .value = static_cast<std::int64_t>(i)});
     // bit 0: busy loop for Tsync (the next sleep_until models it)
   }
   shared->sender_done = true;
@@ -105,6 +122,11 @@ sim::Process transfer_sender(sim::Actor& actor, std::vector<VirtAddr> set,
 sim::Process transfer_receiver(sim::Actor& actor, VirtAddr monitor,
                                std::size_t bit_count, ChannelConfig config,
                                TransferShared* shared, ChannelResult* result) {
+  obs::Hub& hub = actor.system().hub();
+  auto group = hub.registry().group("channel");
+  obs::Counter probe_hits = group.counter("probe.hits");
+  obs::Counter probe_misses = group.counter("probe.misses");
+
   const Cycles probe_phase =
       std::max(config.window - config.probe_phase_back, config.window / 2);
 
@@ -119,6 +141,15 @@ sim::Process transfer_receiver(sim::Actor& actor, VirtAddr monitor,
     co_await actor.sleep_until(when + jitter);
     const Cycles measured = co_await timed_probe(actor, monitor);
     const bool miss = classifier.is_miss(static_cast<double>(measured));
+    (miss ? probe_misses : probe_hits).inc();
+    if (hub.tracing())
+      hub.trace({.cycle = actor.now(),
+                 .component = obs::Component::kChannel,
+                 .core = actor.core().value,
+                 .addr = monitor.raw,
+                 .kind = "probe",
+                 .outcome = miss ? "miss" : "hit",
+                 .value = static_cast<std::int64_t>(measured)});
     result->received.push_back(miss ? 1 : 0);
     result->probe_times.push_back(static_cast<double>(measured));
     // The probe itself re-primed the monitor's versions line on a miss and

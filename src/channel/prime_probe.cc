@@ -6,6 +6,7 @@
 #include "channel/classify.h"
 #include "channel/primitives.h"
 #include "common/check.h"
+#include "obs/hub.h"
 
 namespace meecc::channel {
 namespace {
@@ -79,6 +80,11 @@ sim::Process pp_sender(sim::Actor& actor, VirtAddr address,
 sim::Process pp_receiver(sim::Actor& actor, std::vector<VirtAddr> set,
                          std::size_t bit_count, PrimeProbeConfig config,
                          TransferShared* shared, PrimeProbeResult* result) {
+  obs::Hub& hub = actor.system().hub();
+  auto group = hub.registry().group("channel");
+  obs::Counter probe_hits = group.counter("pp.probe.hits");
+  obs::Counter probe_misses = group.counter("pp.probe.misses");
+
   const Cycles probe_phase =
       std::max(config.window - config.probe_phase_back, config.window / 2);
   const sim::TimerModel timer = sim::shared_clock_timer();
@@ -108,7 +114,17 @@ sim::Process pp_receiver(sim::Actor& actor, std::vector<VirtAddr> set,
     for (const VirtAddr addr : set) co_await actor.clflush(addr);
 
     const auto measured = static_cast<double>(after - before);
-    result->received.push_back(classifier.is_miss(measured) ? 1 : 0);
+    const bool miss = classifier.is_miss(measured);
+    (miss ? probe_misses : probe_hits).inc();
+    if (hub.tracing())
+      hub.trace({.cycle = actor.now(),
+                 .component = obs::Component::kChannel,
+                 .core = actor.core().value,
+                 .addr = set.front().raw,
+                 .kind = "pp_probe",
+                 .outcome = miss ? "miss" : "hit",
+                 .value = static_cast<std::int64_t>(after - before)});
+    result->received.push_back(miss ? 1 : 0);
     result->probe_times.push_back(measured);
   }
   shared->receiver_done = true;

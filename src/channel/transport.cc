@@ -1,6 +1,7 @@
 #include "channel/transport.h"
 
 #include "common/check.h"
+#include "obs/hub.h"
 
 namespace meecc::channel {
 namespace {
@@ -204,8 +205,17 @@ ReliableTransferResult run_reliable_transfer(TestBed& bed,
   ReliableTransferResult result;
   const auto bits = encode_message(message, transport);
 
+  auto group = bed.system().hub().registry().group("channel");
+  obs::Counter attempts = group.counter("transport.attempts");
+  obs::Counter retransmissions = group.counter("transport.retransmissions");
+  obs::Counter corrected = group.counter("transport.corrected_bits");
+  obs::Counter crc_failures = group.counter("transport.crc_failures");
+  obs::Counter delivered = group.counter("transport.delivered");
+
   for (int attempt = 0; attempt < transport.max_attempts; ++attempt) {
     ++result.attempts;
+    attempts.inc();
+    if (attempt > 0) retransmissions.inc();
     result.channel = transfer_covert_channel(bed, config, bits, setup);
     result.raw_bit_errors = result.channel.bit_errors;
 
@@ -214,9 +224,12 @@ ReliableTransferResult run_reliable_transfer(TestBed& bed,
       result.corrected_bits = decoded->corrected_bits;
       result.delivered = decoded->crc_ok && decoded->payload == message;
       result.payload = decoded->payload;
+      corrected.inc(decoded->corrected_bits);
+      if (!decoded->crc_ok) crc_failures.inc();
     }
     if (result.delivered) break;  // ARQ: stop once the CRC verifies
   }
+  if (result.delivered) delivered.inc();
 
   result.payload_kilobytes_per_second =
       result.channel.kilobytes_per_second *

@@ -24,6 +24,18 @@ bool line_is_zero(const mem::Line& line) {
 constexpr std::array<Level, kDramLevels> kWalkOrder = {
     Level::kVersions, Level::kL0, Level::kL1, Level::kL2};
 
+/// Counter-name spellings of StopLevel, matching the fig5 metric names.
+constexpr std::array<std::string_view, 5> kStopNames = {"versions", "l0", "l1",
+                                                        "l2", "root"};
+
+std::array<obs::Counter, 5> make_stop_counters(obs::Registry& registry,
+                                               std::string_view group) {
+  std::array<obs::Counter, 5> counters;
+  for (std::size_t level = 0; level < counters.size(); ++level)
+    counters[level] = registry.counter(group, kStopNames[level]);
+  return counters;
+}
+
 }  // namespace
 
 TamperDetected::TamperDetected(Level level, PhysAddr addr)
@@ -32,7 +44,7 @@ TamperDetected::TamperDetected(Level level, PhysAddr addr)
       addr_(addr) {}
 
 MeeEngine::MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
-                     const MeeConfig& config, Rng rng)
+                     const MeeConfig& config, Rng rng, obs::Hub* hub)
     : map_(map),
       memory_(memory),
       config_(config),
@@ -41,7 +53,55 @@ MeeEngine::MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
       cipher_(config.data_key),
       mac_(crypto::make_mac_scheme(config.mac_kind, config.mac_key)),
       root_counters_(geometry_.root_entries(), 0),
-      rng_(rng) {}
+      rng_(rng),
+      hub_(hub) {
+  if (hub_ != nullptr) {
+    auto& registry = hub_->registry();
+    read_walks_ = registry.counter("mee", "read_walks");
+    write_walks_ = registry.counter("mee", "write_walks");
+    nodes_fetched_ = registry.counter("mee", "nodes_fetched");
+    mac_node_verifies_ = registry.counter("mee.mac", "node_verifies");
+    mac_tag_verifies_ = registry.counter("mee.mac", "tag_verifies");
+    // The MEE cache's even/odd set-class split: versions-walk lookups land
+    // in even sets, PD_Tag lookups in the odd partner sets (paper §4).
+    versions_class_hits_ = registry.counter("mee.cache.versions_class", "hits");
+    versions_class_misses_ =
+        registry.counter("mee.cache.versions_class", "misses");
+    tag_hits_ = registry.counter("mee.cache.tag_class", "hits");
+    tag_misses_ = registry.counter("mee.cache.tag_class", "misses");
+    tampers_ = registry.counter("mee", "tampers_detected");
+    wait_cycles_ = registry.counter("mee", "wait_cycles");
+    stop_counters_ = make_stop_counters(registry, "mee.stop");
+  }
+}
+
+void MeeEngine::count_walk(CoreId core, const WalkResult& walk,
+                           PhysAddr data_addr, Cycles now, bool is_write) {
+  const auto level = static_cast<std::size_t>(walk.stop_level);
+  stats_.stops[level]++;
+  if (hub_ == nullptr) return;
+  stop_counters_[level].inc();
+  nodes_fetched_.inc(walk.fetched.size());
+  if (walk.stop_level == Level::kVersions)
+    versions_class_hits_.inc();
+  else
+    versions_class_misses_.inc();
+  if (core.value >= per_core_stops_.size())
+    per_core_stops_.resize(core.value + 1);
+  if (!per_core_stops_[core.value][level].bound()) {
+    per_core_stops_[core.value] = make_stop_counters(
+        hub_->registry(), "mee.core" + std::to_string(core.value) + ".stop");
+  }
+  per_core_stops_[core.value][level].inc();
+  if (hub_->tracing())
+    hub_->trace({.cycle = now == kArriveWhenIdle ? Cycles{0} : now,
+                 .component = obs::Component::kMee,
+                 .core = core.value,
+                 .addr = data_addr.raw,
+                 .kind = is_write ? "write_walk" : "walk",
+                 .outcome = kStopNames[level],
+                 .value = static_cast<std::int64_t>(walk.fetched.size())});
+}
 
 cache::WayMask MeeEngine::mask_for(CoreId core) const {
   return partition_ ? partition_(core) : cache::kAllWays;
@@ -57,18 +117,27 @@ std::uint64_t MeeEngine::parent_counter(Level level, std::uint64_t chunk) const 
   return parent.counters[geometry_.slot_in_parent(level, chunk)];
 }
 
-void MeeEngine::verify_node(Level level, std::uint64_t chunk) const {
+void MeeEngine::verify_node(Level level, std::uint64_t chunk) {
   if (!config_.functional_crypto) return;
   const PhysAddr addr = geometry_.node_addr(level, chunk);
   const TreeNode node = decode_node(memory_.read_line(addr));
   const std::uint64_t parent = parent_counter(level, chunk);
   if (node.is_genesis()) {
-    if (parent != 0) throw TamperDetected(level, addr);
+    if (parent != 0) {
+      ++stats_.tampers_detected;
+      tampers_.inc();
+      throw TamperDetected(level, addr);
+    }
+    mac_node_verifies_.inc();
     return;
   }
   const auto payload = counter_payload(node);
-  if (!mac_->verify(addr.raw, parent, payload, node.mac))
+  if (!mac_->verify(addr.raw, parent, payload, node.mac)) {
+    ++stats_.tampers_detected;
+    tampers_.inc();
     throw TamperDetected(level, addr);
+  }
+  mac_node_verifies_.inc();
 }
 
 MeeEngine::WalkResult MeeEngine::walk_and_verify(CoreId core,
@@ -86,7 +155,10 @@ MeeEngine::WalkResult MeeEngine::walk_and_verify(CoreId core,
 
   // Verify top-down: each node's MAC key (the parent counter) is trusted by
   // the time we check it — either the parent was a cache hit / the root, or
-  // it was verified in an earlier iteration of this loop.
+  // it was verified in an earlier iteration of this loop. Tamper accounting
+  // lives in verify_node's throw sites: wrapping this loop in try/catch puts
+  // an EH region on the cold-walk hot path and costs ~25% even when tracing
+  // is compiled out.
   for (auto it = result.fetched.rbegin(); it != result.fetched.rend(); ++it)
     verify_node(*it, chunk);
 
@@ -119,6 +191,7 @@ Cycles MeeEngine::occupy_engine(Cycles now, std::uint32_t nodes_fetched) {
     return 0;
   }
   const Cycles wait = busy_until_ > now ? busy_until_ - now : 0;
+  wait_cycles_.inc(wait);
   busy_until_ = now + wait + service;
   return wait;
 }
@@ -127,20 +200,23 @@ MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
                                      mem::Line* out, Cycles now) {
   MEECC_CHECK(map_.classify(data_addr) == mem::RegionKind::kProtectedData);
   ++stats_.reads;
+  read_walks_.inc();
   const std::uint64_t chunk = geometry_.chunk_of(data_addr);
   const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
   const PhysAddr line_addr = data_addr.line_base();
 
   const WalkResult walk = walk_and_verify(core, chunk);
-  stats_.stops[static_cast<std::size_t>(walk.stop_level)]++;
+  count_walk(core, walk, data_addr, now, /*is_write=*/false);
 
   // PD_Tag line: fetched alongside the versions line (even/odd set pair);
   // its DRAM fetch overlaps the data fetch, so it adds no latency class.
   const PhysAddr tag_addr = geometry_.tag_line_addr(chunk);
   if (cache_.lookup(tag_addr)) {
     ++stats_.tag_hits;
+    tag_hits_.inc();
   } else {
     ++stats_.tag_misses;
+    tag_misses_.inc();
     cache_.fill(tag_addr, mask_for(core));
   }
 
@@ -155,8 +231,12 @@ MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
     if (version == 0 && expected_tag == 0 && line_is_zero(ciphertext)) {
       if (out) out->fill(0);  // genesis: never written
     } else {
-      if (!mac_->verify(line_addr.raw, version, ciphertext, expected_tag))
+      mac_tag_verifies_.inc();
+      if (!mac_->verify(line_addr.raw, version, ciphertext, expected_tag)) {
+        ++stats_.tampers_detected;
+        tampers_.inc();
         throw TamperDetected(Level::kVersions, line_addr);
+      }
       if (out) *out = cipher_.decrypt(ciphertext, line_addr.raw, version);
     }
   } else if (out) {
@@ -175,13 +255,14 @@ MeeAccessResult MeeEngine::write_line(CoreId core, PhysAddr data_addr,
                                       const mem::Line& plaintext, Cycles now) {
   MEECC_CHECK(map_.classify(data_addr) == mem::RegionKind::kProtectedData);
   ++stats_.writes;
+  write_walks_.inc();
   const std::uint64_t chunk = geometry_.chunk_of(data_addr);
   const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
   const PhysAddr line_addr = data_addr.line_base();
 
   // Verify the existing path before trusting any counter we will bump.
   const WalkResult walk = walk_and_verify(core, chunk);
-  stats_.stops[static_cast<std::size_t>(walk.stop_level)]++;
+  count_walk(core, walk, data_addr, now, /*is_write=*/true);
 
   if (config_.functional_crypto) {
     // Bump the whole counter chain (eager update, write-through to root).

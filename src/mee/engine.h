@@ -39,6 +39,7 @@
 #include "mee/levels.h"
 #include "mee/node_codec.h"
 #include "mee/tree_geometry.h"
+#include "obs/hub.h"
 
 namespace meecc::mee {
 
@@ -114,8 +115,12 @@ using MeePartitionFn = std::function<cache::WayMask(CoreId)>;
 
 class MeeEngine {
  public:
+  /// `hub` (optional, borrowed) receives walk counters (mee.* groups,
+  /// including the per-core stop-level distribution and the even/odd
+  /// set-class split between versions-walk and PD_Tag lookups) plus "walk"
+  /// trace events; it must outlive the engine.
   MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
-            const MeeConfig& config, Rng rng);
+            const MeeConfig& config, Rng rng, obs::Hub* hub = nullptr);
 
   /// Sentinel arrival time: "whenever the engine is free" — no queueing.
   /// Unit tests and standalone use default to this; the full-system path
@@ -152,8 +157,10 @@ class MeeEngine {
   };
 
   WalkResult walk_and_verify(CoreId core, std::uint64_t chunk);
+  void count_walk(CoreId core, const WalkResult& walk, PhysAddr data_addr,
+                  Cycles now, bool is_write);
   std::uint64_t parent_counter(Level level, std::uint64_t chunk) const;
-  void verify_node(Level level, std::uint64_t chunk) const;
+  void verify_node(Level level, std::uint64_t chunk);
   cache::WayMask mask_for(CoreId core) const;
   Cycles walk_latency(std::uint32_t nodes_fetched);
   /// Queueing delay for a request arriving at `now`; advances busy_until_.
@@ -171,6 +178,24 @@ class MeeEngine {
   Rng rng_;
   MeeStats stats_;
   Cycles busy_until_ = 0;
+
+  obs::Hub* hub_ = nullptr;
+  obs::Counter read_walks_;
+  obs::Counter write_walks_;
+  obs::Counter nodes_fetched_;
+  obs::Counter mac_node_verifies_;
+  obs::Counter mac_tag_verifies_;
+  obs::Counter versions_class_hits_;
+  obs::Counter versions_class_misses_;
+  obs::Counter tag_hits_;
+  obs::Counter tag_misses_;
+  obs::Counter tampers_;
+  obs::Counter wait_cycles_;
+  std::array<obs::Counter, 5> stop_counters_;  ///< indexed by StopLevel
+  /// Per-core stop distribution, grown lazily (the engine does not know the
+  /// core count). Lets an experiment separate its own walks from co-tenant
+  /// noise — mee.core<k>.stop.<level>.
+  std::vector<std::array<obs::Counter, 5>> per_core_stops_;
 };
 
 }  // namespace meecc::mee

@@ -1,0 +1,77 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+
+namespace meecc::obs {
+
+Counter CounterGroup::counter(std::string_view name) {
+  if (registry_ == nullptr) return Counter{};
+  return registry_->counter(group_, name);
+}
+
+Counter Registry::counter(std::string_view group, std::string_view name) {
+  auto& slots = groups_[std::string(group)];
+  auto it = slots.find(name);
+  if (it == slots.end()) it = slots.emplace(std::string(name), 0).first;
+  return Counter{&it->second};
+}
+
+CounterGroup Registry::group(std::string_view name) {
+  return CounterGroup{this, std::string(name)};
+}
+
+CounterSnapshot Registry::snapshot() const {
+  CounterSnapshot out;
+  for (const auto& [group, slots] : groups_)
+    for (const auto& [name, value] : slots)
+      out.push_back({group + '.' + name, value});
+  // groups_ iterates sorted, but "a.b"."c" and "a"."b.c" interleave; sort
+  // the flattened names so merged snapshots compare bit-identically.
+  std::sort(out.begin(), out.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& [group, slots] : groups_)
+    for (auto& [name, value] : slots) value = 0;
+}
+
+void merge_into(CounterSnapshot& dst, const CounterSnapshot& src) {
+  CounterSnapshot out;
+  out.reserve(dst.size() + src.size());
+  std::size_t i = 0, j = 0;
+  while (i < dst.size() || j < src.size()) {
+    if (j >= src.size() || (i < dst.size() && dst[i].name < src[j].name)) {
+      out.push_back(dst[i++]);
+    } else if (i >= dst.size() || src[j].name < dst[i].name) {
+      out.push_back(src[j++]);
+    } else {
+      out.push_back({dst[i].name, dst[i].value + src[j].value});
+      ++i;
+      ++j;
+    }
+  }
+  dst = std::move(out);
+}
+
+std::uint64_t snapshot_value(const CounterSnapshot& snapshot,
+                             std::string_view name) {
+  for (const CounterSample& sample : snapshot)
+    if (sample.name == name) return sample.value;
+  return 0;
+}
+
+std::uint64_t snapshot_total(const CounterSnapshot& snapshot,
+                             std::string_view prefix) {
+  std::uint64_t total = 0;
+  for (const CounterSample& sample : snapshot)
+    if (sample.name.size() >= prefix.size() &&
+        std::string_view(sample.name).substr(0, prefix.size()) == prefix)
+      total += sample.value;
+  return total;
+}
+
+}  // namespace meecc::obs

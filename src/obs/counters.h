@@ -1,0 +1,113 @@
+// Hierarchical named counters.
+//
+// A Registry owns one uint64 slot per "<group>.<name>" counter; components
+// resolve a Counter handle once (at construction) and bump it on the hot
+// path with a single predictable-branch increment. Handles stay valid for
+// the Registry's lifetime because slots live in node-based maps.
+//
+// A detached (default-constructed) Counter is a no-op, so components built
+// without an observability hub — unit tests, microbenchmarks — pay one
+// null check per event and nothing else.
+//
+// Snapshots are plain sorted vectors: deterministic to serialize, cheap to
+// merge across the several System instances one trial may build (fig6
+// builds two machines; their counters add).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace meecc::obs {
+
+class Registry;
+
+/// Cheap handle to one registry slot. Copyable; unbound handles drop
+/// increments.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t n = 1) {
+    if (slot_ != nullptr) *slot_ += n;
+  }
+  std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+  bool bound() const { return slot_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+
+  std::uint64_t* slot_ = nullptr;
+};
+
+/// One counter's value at snapshot time; `name` is the full dotted path.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const CounterSample&, const CounterSample&) = default;
+};
+
+/// All counters of a registry (or a merged set of registries), sorted by
+/// name. The sorted order is the serialization order everywhere.
+using CounterSnapshot = std::vector<CounterSample>;
+
+/// Adds `src` values into `dst` (union of names, values summed).
+void merge_into(CounterSnapshot& dst, const CounterSnapshot& src);
+
+/// Value of `name`, or 0 when absent.
+std::uint64_t snapshot_value(const CounterSnapshot& snapshot,
+                             std::string_view name);
+
+/// Sum of every counter whose name starts with `prefix` ("mee.stop.").
+std::uint64_t snapshot_total(const CounterSnapshot& snapshot,
+                             std::string_view prefix);
+
+/// Handle to one component's group; counter("hits") under group "cache.l1"
+/// names "cache.l1.hits". Detached groups hand out detached counters.
+class CounterGroup {
+ public:
+  CounterGroup() = default;
+
+  Counter counter(std::string_view name);
+
+ private:
+  friend class Registry;
+  CounterGroup(Registry* registry, std::string group)
+      : registry_(registry), group_(std::move(group)) {}
+
+  Registry* registry_ = nullptr;
+  std::string group_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Resolves (creating on first use) the slot for "<group>.<name>".
+  Counter counter(std::string_view group, std::string_view name);
+
+  /// Component-facing handle; the group itself is created lazily.
+  CounterGroup group(std::string_view name);
+
+  /// Sorted snapshot of every registered counter.
+  CounterSnapshot snapshot() const;
+
+  /// Zeroes all values; handles stay valid. Experiments call this after
+  /// setup so counters describe only the measured section.
+  void reset();
+
+ private:
+  // Node-based nested maps: value slots never move, so Counter handles
+  // survive later registrations.
+  std::map<std::string, std::map<std::string, std::uint64_t, std::less<>>,
+           std::less<>>
+      groups_;
+};
+
+}  // namespace meecc::obs

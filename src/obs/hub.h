@@ -1,0 +1,50 @@
+// The per-System observability hub: one counter registry plus an optional
+// trace sink.
+//
+// The disabled path is off the hot path by construction:
+//   * counters are pre-resolved handles — a bound counter is one add, an
+//     unbound one is one null test;
+//   * trace emission sites are written as
+//         if (hub != nullptr && hub->tracing()) hub->trace({...});
+//     tracing() is an inlined null/flag test, so with no sink installed the
+//     TraceEvent is never even constructed. Defining MEECC_DISABLE_TRACING
+//     turns tracing() into `false` at compile time and dead-code-eliminates
+//     every emission site outright.
+#pragma once
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace meecc::obs {
+
+#ifdef MEECC_DISABLE_TRACING
+inline constexpr bool kTracingCompiledIn = false;
+#else
+inline constexpr bool kTracingCompiledIn = true;
+#endif
+
+class Hub {
+ public:
+  Hub() = default;
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+  /// The sink is borrowed; pass nullptr to disable tracing.
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* trace_sink() const { return sink_; }
+
+  bool tracing() const { return kTracingCompiledIn && sink_ != nullptr; }
+
+  /// Precondition: tracing() — callers gate on it so the event is only
+  /// materialized when someone listens.
+  void trace(const TraceEvent& event) { sink_->emit(event); }
+
+ private:
+  Registry registry_;
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace meecc::obs

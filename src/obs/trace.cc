@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace meecc::obs {
+
+std::string_view to_string(Component component) {
+  switch (component) {
+    case Component::kSystem:
+      return "system";
+    case Component::kCache:
+      return "cache";
+    case Component::kMee:
+      return "mee";
+    case Component::kDes:
+      return "des";
+    case Component::kChannel:
+      return "channel";
+  }
+  return "?";
+}
+
+void CollectingSink::emit(const TraceEvent& event) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::string JsonlTraceSink::to_json_line(const TraceEvent& event) {
+  // kind/outcome are literals from the instrumentation sites — no escaping
+  // needed, and the format stays byte-deterministic for the golden diff.
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"cycle\":%llu,\"component\":\"%.*s\",\"core\":%u,"
+                "\"addr\":\"0x%llx\",\"kind\":\"%.*s\",\"outcome\":\"%.*s\","
+                "\"value\":%lld}",
+                static_cast<unsigned long long>(event.cycle),
+                static_cast<int>(to_string(event.component).size()),
+                to_string(event.component).data(), event.core,
+                static_cast<unsigned long long>(event.addr),
+                static_cast<int>(event.kind.size()), event.kind.data(),
+                static_cast<int>(event.outcome.size()), event.outcome.data(),
+                static_cast<long long>(event.value));
+  return buf;
+}
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  out_ << to_json_line(event) << '\n';
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(out) {
+  out_ << "[\n";
+}
+
+void ChromeTraceSink::emit(const TraceEvent& event) {
+  MEECC_CHECK(!closed_);
+  if (!first_) out_ << ",\n";
+  first_ = false;
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"name\":\"%.*s:%.*s\",\"cat\":\"%.*s\",\"ph\":\"X\",\"ts\":%llu,"
+      "\"dur\":%lld,\"pid\":0,\"tid\":%u,\"args\":{\"addr\":\"0x%llx\"}}",
+      static_cast<int>(event.kind.size()), event.kind.data(),
+      static_cast<int>(event.outcome.size()), event.outcome.data(),
+      static_cast<int>(to_string(event.component).size()),
+      to_string(event.component).data(),
+      static_cast<unsigned long long>(event.cycle),
+      static_cast<long long>(event.value < 0 ? 0 : event.value), event.core,
+      static_cast<unsigned long long>(event.addr));
+  out_ << buf;
+}
+
+void ChromeTraceSink::flush() {
+  if (!closed_) {
+    out_ << "\n]\n";
+    closed_ = true;
+  }
+  out_.flush();
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+SamplingSink::SamplingSink(TraceSink& inner, std::uint64_t period)
+    : inner_(inner), period_(period) {
+  MEECC_CHECK(period >= 1);
+}
+
+void SamplingSink::emit(const TraceEvent& event) {
+  if (count_++ % period_ == 0) inner_.emit(event);
+}
+
+}  // namespace meecc::obs

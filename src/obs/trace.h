@@ -1,0 +1,115 @@
+// Structured trace events.
+//
+// A TraceEvent is a fixed-size record of one simulator happening: which
+// component, on which core, at what simulated cycle, on what address, with
+// what outcome. `kind` and `outcome` are string_views and MUST point at
+// string literals (or other storage outliving the sink) — events are
+// emitted from hot paths and never copy strings.
+//
+// Sinks are synchronous and single-threaded by contract: a sink is only
+// ever fed by the one trial running on the current thread (the runner
+// forces --jobs 1 when tracing a sweep).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meecc::obs {
+
+/// Which simulator layer emitted the event.
+enum class Component : std::uint8_t { kSystem, kCache, kMee, kDes, kChannel };
+
+std::string_view to_string(Component component);
+
+struct TraceEvent {
+  Cycles cycle = 0;
+  Component component = Component::kSystem;
+  std::uint32_t core = 0;
+  std::uint64_t addr = 0;
+  std::string_view kind;     ///< "read", "walk", "evict", "probe", ...
+  std::string_view outcome;  ///< "L1", "versions", "miss", ...
+  std::int64_t value = 0;    ///< latency cycles, node count, bit value, ...
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+  /// Finalize output (Chrome's closing bracket). Idempotent.
+  virtual void flush() {}
+};
+
+/// Keeps the first `max_events` events in memory (0 = unbounded); counts
+/// the rest. Backs the golden-trace test and the unit tests.
+class CollectingSink : public TraceSink {
+ public:
+  explicit CollectingSink(std::size_t max_events = 0)
+      : max_events_(max_events) {}
+
+  void emit(const TraceEvent& event) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One deterministic JSON object per event:
+///   {"cycle":480,"component":"mee","core":0,"addr":"0x1f40",
+///    "kind":"walk","outcome":"versions","value":0}
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(out) {}
+
+  void emit(const TraceEvent& event) override;
+  void flush() override { out_.flush(); }
+
+  /// The serialization, exposed so tests and the golden diff share it.
+  static std::string to_json_line(const TraceEvent& event);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Chrome trace_event format (load via chrome://tracing or Perfetto):
+/// a JSON array of complete ("ph":"X") events with ts = simulated cycle
+/// (displayed as microseconds), dur = event value, tid = core.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out);
+  ~ChromeTraceSink() override;
+
+  void emit(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+/// Forwards every `period`-th event (the first one always passes) to an
+/// inner sink — keeps multi-million-event runs tractable.
+class SamplingSink : public TraceSink {
+ public:
+  SamplingSink(TraceSink& inner, std::uint64_t period);
+
+  void emit(const TraceEvent& event) override;
+  void flush() override { inner_.flush(); }
+
+ private:
+  TraceSink& inner_;
+  std::uint64_t period_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace meecc::obs

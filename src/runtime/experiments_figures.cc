@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "mee/levels.h"
+#include "obs/counters.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
 #include "runtime/registry.h"
@@ -118,6 +119,11 @@ TrialResult run_fig5(const TrialSpec& spec) {
   channel::LatencySurveyConfig config;
   config.samples_per_stride =
       static_cast<int>(param_u64(spec, "samples_per_stride", 2500));
+  // Zero the counters accumulated during enclave setup (page-add writes
+  // walk the tree too) so mee.core0.stop.* describes exactly the survey's
+  // own walks. The core-3 background agent keeps running, which is why the
+  // cross-check below uses the per-core counters, not the aggregate.
+  bed.system().hub().registry().reset();
   const auto result = channel::run_latency_survey(bed, config);
 
   TrialResult out;
@@ -133,6 +139,19 @@ TrialResult run_fig5(const TrialSpec& spec) {
   const double root =
       result.per_level[4].count() ? result.per_level[4].mean() : 0.0;
   out.metric("versions_root_gap", root > 0 ? root - hit : 0.0);
+
+  // Cross-check the histogram against the MEE's own stop counters: every
+  // survey sample is one core-0 walk, so the per-core stop distribution
+  // must total exactly strides × samples_per_stride.
+  const auto counters = bed.system().hub().registry().snapshot();
+  const std::uint64_t counted_walks =
+      obs::snapshot_total(counters, "mee.core0.stop.");
+  std::uint64_t histogram_samples = 0;
+  for (const auto& series : result.series)
+    for (const std::uint64_t c : series.stop_counts) histogram_samples += c;
+  out.metric("counter_survey_walks", static_cast<double>(counted_walks));
+  out.metric("counter_walks_match_samples",
+             counted_walks == histogram_samples ? 1.0 : 0.0);
 
   std::ostringstream artifact;
   for (const auto& series : result.series) {
@@ -156,10 +175,20 @@ TrialResult run_fig5(const TrialSpec& spec) {
     mix.add(series.stride, series.stop_counts[0], series.stop_counts[1],
             series.stop_counts[2], series.stop_counts[3],
             series.stop_counts[4]);
+  Table stops({"mee.core0.stop counter", "walks"});
+  for (const auto& sample : counters) {
+    if (sample.name.starts_with("mee.core0.stop."))
+      stops.add(sample.name, sample.value);
+  }
   artifact << by_level.to_text() << '\n'
            << "stop-level mix per stride (paper: 64B/512B -> versions/L0;\n"
               "4KB/32KB -> L1/L2; 256KB -> root):\n"
-           << mix.to_text() << '\n';
+           << mix.to_text() << '\n'
+           << "MEE stop counters (survey core):\n"
+           << stops.to_text() << "counter total " << counted_walks << " vs "
+           << histogram_samples << " histogram samples -> "
+           << (counted_walks == histogram_samples ? "MATCH" : "MISMATCH")
+           << '\n';
   if (root > 0)
     artifact << "versions-hit vs root gap: "
              << static_cast<long long>(root - hit)

@@ -5,13 +5,20 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/scope.h"
+
 namespace meecc::runtime {
 
 namespace {
 
-TrialRecord run_one(const Experiment& experiment, const TrialSpec& spec) {
+TrialRecord run_one(const Experiment& experiment, const TrialSpec& spec,
+                    obs::TraceSink* trace_sink) {
   TrialRecord record;
   record.spec = spec;
+  // Ambient scope: every System the trial constructs inherits the trace
+  // sink and deposits its counters here on destruction (including during
+  // unwinding when the trial throws).
+  obs::TrialScope scope(trace_sink);
   try {
     record.result = experiment.run(spec);
     record.ok = true;
@@ -20,6 +27,7 @@ TrialRecord run_one(const Experiment& experiment, const TrialSpec& spec) {
   } catch (...) {
     record.error = "unknown exception";
   }
+  record.counters = scope.counters();
   return record;
 }
 
@@ -34,6 +42,7 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
   if (jobs == 0) jobs = 1;
   jobs = static_cast<unsigned>(
       std::min<std::size_t>(jobs, std::max<std::size_t>(trials.size(), 1)));
+  if (config.trace_sink != nullptr) jobs = 1;  // sinks are single-threaded
 
   std::mutex callback_mutex;
   std::atomic<std::size_t> next{0};
@@ -41,7 +50,7 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= trials.size()) return;
-      records[i] = run_one(experiment, trials[i]);
+      records[i] = run_one(experiment, trials[i], config.trace_sink);
       if (config.on_trial) {
         const std::lock_guard<std::mutex> lock(callback_mutex);
         config.on_trial(records[i]);

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "runtime/experiment.h"
 
 namespace meecc::runtime {
@@ -19,6 +21,11 @@ struct TrialRecord {
   TrialResult result;  ///< valid when ok
   bool ok = false;
   std::string error;  ///< exception text when !ok
+  /// Every counter of every System the trial built, merged and sorted.
+  /// Collected via the ambient obs::TrialScope the runner installs —
+  /// experiments never mention observability. Empty when the trial built
+  /// no System.
+  obs::CounterSnapshot counters;
 };
 
 struct RunnerConfig {
@@ -26,6 +33,10 @@ struct RunnerConfig {
   /// Completion callback (progress reporting). Called from worker threads
   /// under an internal mutex, in completion order — NOT trial order.
   std::function<void(const TrialRecord&)> on_trial;
+  /// Borrowed trace sink handed to every trial's TrialScope. Sinks are
+  /// single-threaded by contract, so callers MUST pair this with jobs=1
+  /// (the runner enforces it).
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Runs every trial through experiment.run. A throwing trial is recorded

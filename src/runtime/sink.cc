@@ -77,6 +77,18 @@ std::string to_json_line(const TrialRecord& record) {
     }
     out += '}';
   }
+  // Counters ride along only when present, keeping pre-observability
+  // consumers (and byte-exact golden JSONL) unchanged for counter-less
+  // records. Snapshot order is sorted-by-name, hence deterministic.
+  if (!record.counters.empty()) {
+    out += ",\"counters\":{";
+    for (std::size_t i = 0; i < record.counters.size(); ++i) {
+      if (i) out += ',';
+      out += '"' + json_escape(record.counters[i].name) +
+             "\":" + std::to_string(record.counters[i].value);
+    }
+    out += '}';
+  }
   return out + '}';
 }
 
@@ -121,6 +133,20 @@ Table summary_table(const std::vector<TrialRecord>& records,
     }
     table.add_row(std::move(row));
   }
+  return table;
+}
+
+obs::CounterSnapshot merge_counters(const std::vector<TrialRecord>& records) {
+  obs::CounterSnapshot merged;
+  for (const TrialRecord& record : records)
+    obs::merge_into(merged, record.counters);
+  return merged;
+}
+
+Table counters_table(const obs::CounterSnapshot& counters) {
+  Table table({"counter", "value"});
+  for (const obs::CounterSample& sample : counters)
+    table.add_row({sample.name, std::to_string(sample.value)});
   return table;
 }
 

@@ -37,4 +37,11 @@ std::string json_escape(std::string_view s);
 Table summary_table(const std::vector<TrialRecord>& records,
                     const std::vector<std::string>& param_columns);
 
+/// Every record's counters merged (values summed), one row per counter
+/// name. Backs `meecc_bench run --counters`.
+obs::CounterSnapshot merge_counters(const std::vector<TrialRecord>& records);
+
+/// Renders a merged snapshot as a two-column name/value table.
+Table counters_table(const obs::CounterSnapshot& counters);
+
 }  // namespace meecc::runtime

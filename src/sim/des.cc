@@ -14,16 +14,29 @@ Scheduler::~Scheduler() {
     if (handle) handle.destroy();
 }
 
+void Scheduler::set_hub(obs::Hub* hub) {
+  if (hub == nullptr) {
+    spawned_ = scheduled_ = dispatched_ = obs::Counter{};
+    return;
+  }
+  auto group = hub->registry().group("des");
+  spawned_ = group.counter("spawned");
+  scheduled_ = group.counter("scheduled");
+  dispatched_ = group.counter("dispatched");
+}
+
 void Scheduler::spawn(Process process, Cycles start) {
   MEECC_CHECK(process.handle_);
   auto handle = process.handle_;
   process.handle_ = nullptr;  // ownership moves to the scheduler
   owned_.push_back(handle);
+  spawned_.inc();
   enqueue(handle, start);
 }
 
 void Scheduler::enqueue(std::coroutine_handle<> handle, Cycles when) {
   // Events never fire in the past: a stale clock is clamped to `now`.
+  scheduled_.inc();
   queue_.push(Event{std::max(when, now_), seq_++, handle});
 }
 
@@ -40,6 +53,7 @@ void Scheduler::raise_pending_agent_errors() {
 
 void Scheduler::dispatch(const Event& event) {
   now_ = event.when;
+  dispatched_.inc();
   event.handle.resume();
   raise_pending_agent_errors();
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/hub.h"
 
 namespace meecc::sim {
 
@@ -190,6 +191,10 @@ class Scheduler {
 
   bool idle() const { return queue_.empty(); }
 
+  /// Attaches scheduling counters (des.spawned/scheduled/dispatched) to
+  /// `hub` (borrowed; may be nullptr to detach). Called by sim::System.
+  void set_hub(obs::Hub* hub);
+
  private:
   struct Event {
     Cycles when;
@@ -209,6 +214,9 @@ class Scheduler {
   std::vector<std::coroutine_handle<Process::promise_type>> owned_;
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
+  obs::Counter spawned_;
+  obs::Counter scheduled_;
+  obs::Counter dispatched_;
 };
 
 /// Awaitable that re-enters the scheduler and resumes at `when`.

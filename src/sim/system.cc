@@ -1,6 +1,7 @@
 #include "sim/system.h"
 
 #include "common/check.h"
+#include "obs/scope.h"
 
 namespace meecc::sim {
 
@@ -9,13 +10,27 @@ System::System(const SystemConfig& config)
       rng_(config.seed),
       map_(config.address_map),
       dram_(config.dram, rng_.fork()),
-      hierarchy_(config.hierarchy, config.cores, rng_.fork()),
+      hierarchy_(config.hierarchy, config.cores, rng_.fork(), &hub_),
       mee_(std::make_unique<mee::MeeEngine>(map_, memory_, config.mee,
-                                            rng_.fork())),
+                                            rng_.fork(), &hub_)),
       epc_allocator_(map_, config.epc_placement, rng_.fork()),
       general_allocator_(map_) {
   MEECC_CHECK(config.cores > 0);
   MEECC_CHECK(config.clock_ghz > 0.0);
+  scheduler_.set_hub(&hub_);
+  auto sys = hub_.registry().group("sys");
+  reads_ = sys.counter("reads");
+  writes_ = sys.counter("writes");
+  clflushes_ = sys.counter("clflushes");
+  auto dram = hub_.registry().group("dram");
+  dram_reads_ = dram.counter("reads");
+  dram_protected_reads_ = dram.counter("protected_reads");
+  if (auto* scope = obs::TrialScope::current())
+    hub_.set_trace_sink(scope->trace_sink());
+}
+
+System::~System() {
+  if (auto* scope = obs::TrialScope::current()) scope->absorb(hub_.registry());
 }
 
 void System::check_mode(CpuMode mode, PhysAddr paddr) const {
@@ -35,7 +50,8 @@ AccessResult System::do_read(CoreId core, CpuMode mode,
   check_mode(mode, paddr);
 
   AccessResult result;
-  const auto hier = hierarchy_.access(core, paddr);
+  reads_.inc();
+  const auto hier = hierarchy_.access(core, paddr, now);
   result.cache_level = hier.level;
   result.latency = hier.lookup_latency;
   if (hier.level != cache::HitLevel::kMemory) {
@@ -58,17 +74,36 @@ AccessResult System::do_read(CoreId core, CpuMode mode,
             cipher.decrypt(memory_.read_line(paddr), chunk_line.raw, version);
       }
     }
+    if (hub_.tracing())
+      hub_.trace({.cycle = now,
+                  .component = obs::Component::kSystem,
+                  .core = core.value,
+                  .addr = paddr.raw,
+                  .kind = "read",
+                  .outcome = cache::to_string(hier.level),
+                  .value = static_cast<std::int64_t>(result.latency)});
     return result;
   }
 
   result.latency += dram_.access_latency(now);
+  dram_reads_.inc();
   if (map_.classify(paddr) == mem::RegionKind::kProtectedData) {
+    dram_protected_reads_.inc();
     const auto mee_result = mee_->read_line(core, paddr, &result.data, now);
     result.mee_level = mee_result.stop_level;
     result.latency += mee_result.extra_latency;
   } else {
     result.data = memory_.read_line(paddr);
   }
+  if (hub_.tracing())
+    hub_.trace({.cycle = now,
+                .component = obs::Component::kSystem,
+                .core = core.value,
+                .addr = paddr.raw,
+                .kind = "read",
+                .outcome = result.mee_level ? mee::to_string(*result.mee_level)
+                                            : std::string_view{"DRAM"},
+                .value = static_cast<std::int64_t>(result.latency)});
   return result;
 }
 
@@ -80,14 +115,17 @@ AccessResult System::do_write(CoreId core, CpuMode mode,
   check_mode(mode, paddr);
 
   AccessResult result;
+  writes_.inc();
   // Write-allocate: the line is brought into the hierarchy either way; the
   // store itself retires quickly, but for protected lines the writeback
   // (modelled synchronously) pays the MEE update path.
-  const auto hier = hierarchy_.access(core, paddr);
+  const auto hier = hierarchy_.access(core, paddr, now);
   result.cache_level = hier.level;
   result.latency = hier.lookup_latency;
-  if (hier.level == cache::HitLevel::kMemory)
+  if (hier.level == cache::HitLevel::kMemory) {
     result.latency += dram_.access_latency(now);
+    dram_reads_.inc();  // write-allocate fill
+  }
 
   if (map_.classify(paddr) == mem::RegionKind::kProtectedData) {
     const auto mee_result = mee_->write_line(core, paddr, data, now);
@@ -97,12 +135,31 @@ AccessResult System::do_write(CoreId core, CpuMode mode,
     memory_.write_line(paddr, data);
   }
   result.data = data;
+  if (hub_.tracing())
+    hub_.trace({.cycle = now,
+                .component = obs::Component::kSystem,
+                .core = core.value,
+                .addr = paddr.raw,
+                .kind = "write",
+                .outcome = result.mee_level ? mee::to_string(*result.mee_level)
+                                            : cache::to_string(hier.level),
+                .value = static_cast<std::int64_t>(result.latency)});
   return result;
 }
 
 Cycles System::do_clflush(const mem::VirtualAddressSpace& vas, VirtAddr addr) {
   const PhysAddr paddr = vas.translate(addr);
-  return hierarchy_.clflush(paddr);
+  clflushes_.inc();
+  const Cycles latency = hierarchy_.clflush(paddr);
+  if (hub_.tracing())
+    hub_.trace({.cycle = scheduler_.now(),
+                .component = obs::Component::kSystem,
+                .core = 0,
+                .addr = paddr.raw,
+                .kind = "clflush",
+                .outcome = "done",
+                .value = static_cast<std::int64_t>(latency)});
+  return latency;
 }
 
 double System::bytes_per_second(double bits_per_cycle) const {

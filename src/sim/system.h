@@ -16,6 +16,7 @@
 #include "mem/page_table.h"
 #include "mem/physical_memory.h"
 #include "mee/engine.h"
+#include "obs/hub.h"
 #include "sim/des.h"
 
 namespace meecc::sim {
@@ -49,6 +50,7 @@ class ModeViolation : public std::logic_error {
 class System {
  public:
   explicit System(const SystemConfig& config);
+  ~System();
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -65,6 +67,14 @@ class System {
 
   /// clflush: evicts from the CPU hierarchy only — never from the MEE cache.
   Cycles do_clflush(const mem::VirtualAddressSpace& vas, VirtAddr addr);
+
+  /// This machine's observability hub. Counters (cache/MEE/DES/sys groups)
+  /// are always collected; tracing activates when a sink is installed —
+  /// either directly via hub().set_trace_sink() or inherited from the
+  /// ambient obs::TrialScope at construction. On destruction the counters
+  /// are absorbed into the ambient TrialScope, if any.
+  obs::Hub& hub() { return hub_; }
+  const obs::Hub& hub() const { return hub_; }
 
   Scheduler& scheduler() { return scheduler_; }
   const mem::AddressMap& map() const { return map_; }
@@ -85,6 +95,7 @@ class System {
   void check_mode(CpuMode mode, PhysAddr paddr) const;
 
   SystemConfig config_;
+  obs::Hub hub_;  ///< declared before every component that borrows it
   Rng rng_;
   mem::AddressMap map_;
   mem::PhysicalMemory memory_;
@@ -94,6 +105,12 @@ class System {
   mem::EpcAllocator epc_allocator_;
   mem::GeneralAllocator general_allocator_;
   Scheduler scheduler_;
+
+  obs::Counter reads_;
+  obs::Counter writes_;
+  obs::Counter clflushes_;
+  obs::Counter dram_reads_;
+  obs::Counter dram_protected_reads_;
 };
 
 }  // namespace meecc::sim
