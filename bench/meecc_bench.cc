@@ -2,6 +2,7 @@
 //
 //   meecc_bench list
 //   meecc_bench describe <experiment>
+//   meecc_bench params
 //   meecc_bench run <experiment> [--set k=v]... [--sweep k=a,b,c]...
 //                   [--seeds N] [--seed BASE] [--jobs N] [--json PATH]
 //                   [--counters] [--trace PATH] [--trace-chrome PATH]
@@ -22,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/policy.h"
+#include "cache/replacement.h"
 #include "common/table.h"
 #include "obs/trace.h"
 #include "runtime/experiments.h"
@@ -41,6 +44,8 @@ int usage(std::FILE* out) {
       "usage: meecc_bench <command> ...\n"
       "  list                      registered experiments\n"
       "  describe <experiment>     parameters, defaults, shared config keys\n"
+      "  params                    every --set/--sweep config key + the\n"
+      "                            registered cache policy names\n"
       "  run <experiment> [options]\n"
       "      --set key=value       pin a parameter (overrides default sweeps)\n"
       "      --sweep key=a,b,c     sweep a parameter axis (cross-product)\n"
@@ -69,6 +74,37 @@ int cmd_list() {
   return 0;
 }
 
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+void print_policy_names(std::FILE* out) {
+  Table policies({"policy slot", "registered names"});
+  policies.add("mee.cache.indexing / llc.indexing",
+               joined(cache::indexing_policy_names()));
+  policies.add("mee.cache.replacement / llc.replacement",
+               joined(cache::replacement_names()));
+  policies.add("mee.cache.fill", joined(cache::fill_policy_names()));
+  std::fprintf(out, "cache policy registries:\n%s",
+               policies.to_text().c_str());
+}
+
+int cmd_params() {
+  Table config({"config key", "meaning"});
+  for (const auto& doc : runtime::config_key_docs()) config.add(doc.key, doc.doc);
+  std::printf(
+      "shared config keys — every one accepts --set key=value and\n"
+      "--sweep key=a,b,c on any experiment:\n%s\n",
+      config.to_text().c_str());
+  print_policy_names(stdout);
+  return 0;
+}
+
 int cmd_describe(const std::string& name) {
   const runtime::Experiment& e = runtime::get_experiment(name);
   std::printf("%s — %s\nreproduces: %s\n\n", e.name.c_str(),
@@ -86,8 +122,9 @@ int cmd_describe(const std::string& name) {
   Table config({"shared config key", "meaning"});
   for (const auto& doc : runtime::config_key_docs())
     config.add(doc.key, doc.doc);
-  std::printf("shared config keys (all experiments):\n%s",
+  std::printf("shared config keys (all experiments):\n%s\n",
               config.to_text().c_str());
+  print_policy_names(stdout);
   return 0;
 }
 
@@ -242,6 +279,7 @@ int main(int argc, char** argv) {
     if (args[0] == "help" || args[0] == "--help" || args[0] == "-h")
       return usage(stdout);
     if (args[0] == "list") return cmd_list();
+    if (args[0] == "params") return cmd_params();
     if (args[0] == "describe") {
       if (args.size() != 2) return usage(stderr);
       return cmd_describe(args[1]);

@@ -9,6 +9,13 @@
 # diff, counters JSONL); build trees also leave obs_artifacts/ dirs behind.
 set -euo pipefail
 
+# Usage: build_and_test.sh [all|hardened]
+#   all       (default) plain + sanitized builds, full suite, determinism smoke
+#   hardened  warnings-hardened configuration only (-Wall -Wextra -Wshadow
+#             -Werror); runs as its own CI job so shadowing regressions fail
+#             without holding up the main matrix
+STAGE="${1:-all}"
+
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 ARTIFACTS="$ROOT/ci-artifacts"
@@ -32,6 +39,17 @@ build_and_test() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L unit
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -LE unit
 }
+
+if [ "$STAGE" = "hardened" ]; then
+  echo "=== hardened build (-Wall -Wextra -Wshadow -Werror) ==="
+  build_and_test "$ROOT/build-ci-hardened" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_WERROR=ON -DMEECC_HARDENED=ON
+  echo "CI OK (hardened)"
+  exit 0
+elif [ "$STAGE" != "all" ]; then
+  echo "unknown stage '$STAGE' (expected: all, hardened)" >&2
+  exit 2
+fi
 
 echo "=== plain build (warnings are errors) ==="
 build_and_test "$ROOT/build-ci-plain" \

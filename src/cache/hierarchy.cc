@@ -23,12 +23,14 @@ Hierarchy::Hierarchy(const HierarchyConfig& config, unsigned core_count,
     : config_(config), hub_(hub) {
   MEECC_CHECK(core_count > 0);
   for (unsigned c = 0; c < core_count; ++c) {
-    l1_.push_back(std::make_unique<SetAssocCache>(
-        config_.l1, config_.l1_replacement, rng.fork()));
-    l2_.push_back(std::make_unique<SetAssocCache>(
-        config_.l2, config_.l2_replacement, rng.fork()));
+    l1_.push_back(std::make_unique<SetAssocCache>(config_.l1,
+                                                  config_.l1_policy,
+                                                  rng.fork()));
+    l2_.push_back(std::make_unique<SetAssocCache>(config_.l2,
+                                                  config_.l2_policy,
+                                                  rng.fork()));
   }
-  llc_ = std::make_unique<SetAssocCache>(config_.llc, config_.llc_replacement,
+  llc_ = std::make_unique<SetAssocCache>(config_.llc, config_.llc_policy,
                                          rng.fork());
   if (hub_ != nullptr) {
     auto& registry = hub_->registry();
@@ -70,8 +72,10 @@ HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr, Cycles now) {
   }
   llc_counters_.misses.inc();
 
-  // Miss everywhere: fill inclusive, honoring back-invalidation.
-  if (const auto evicted = llc_->fill(line)) {
+  // Miss everywhere: fill inclusive, honoring back-invalidation. The LLC
+  // fill carries the requesting core so a partitioned/random fill policy on
+  // the shared level can tell tenants apart.
+  if (const auto evicted = llc_->fill(line, kAllWays, core)) {
     llc_evictions_.inc();
     if (hub_ != nullptr && hub_->tracing())
       hub_->trace({.cycle = now,

@@ -25,9 +25,11 @@ struct HierarchyConfig {
   Geometry l1{.size_bytes = 32 * 1024, .ways = 8};
   Geometry l2{.size_bytes = 256 * 1024, .ways = 4};
   Geometry llc{.size_bytes = 8 * 1024 * 1024, .ways = 16};
-  ReplacementKind l1_replacement = ReplacementKind::kTreePlru;
-  ReplacementKind l2_replacement = ReplacementKind::kTreePlru;
-  ReplacementKind llc_replacement = ReplacementKind::kTreePlru;
+  /// Full policy stack per level (indexing × replacement × fill);
+  /// defaults are the classic modulo / tree-plru / all-ways shape.
+  PolicyConfig l1_policy;
+  PolicyConfig l2_policy;
+  PolicyConfig llc_policy;
   Cycles l1_latency = 4;    ///< hit latency
   Cycles l2_latency = 14;   ///< hit latency (includes L1 miss)
   Cycles llc_latency = 44;  ///< hit latency (includes L1+L2 miss)

@@ -24,6 +24,35 @@ std::string_view to_string(ReplacementKind kind) {
 
 namespace {
 
+constexpr ReplacementKind kAllKinds[] = {
+    ReplacementKind::kLru, ReplacementKind::kTreePlru, ReplacementKind::kNru,
+    ReplacementKind::kRandom};
+
+}  // namespace
+
+ReplacementKind replacement_from_name(std::string_view name) {
+  for (const auto kind : kAllKinds)
+    if (to_string(kind) == name) return kind;
+  std::ostringstream os;
+  os << "unknown replacement policy '" << name << "'";
+  throw CheckFailure(os.str());
+}
+
+bool is_replacement_policy(std::string_view name) {
+  for (const auto kind : kAllKinds)
+    if (to_string(kind) == name) return true;
+  return false;
+}
+
+std::vector<std::string> replacement_names() {
+  std::vector<std::string> names;
+  for (const auto kind : kAllKinds) names.emplace_back(to_string(kind));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+namespace {
+
 /// True LRU via use timestamps.
 class LruPolicy final : public ReplacementPolicy {
  public:

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -19,6 +21,12 @@ namespace meecc::cache {
 enum class ReplacementKind { kLru, kTreePlru, kNru, kRandom };
 
 std::string_view to_string(ReplacementKind kind);
+
+/// Inverse of to_string; throws CheckFailure on unknown names.
+ReplacementKind replacement_from_name(std::string_view name);
+bool is_replacement_policy(std::string_view name);
+/// All replacement names, sorted (CLI discoverability).
+std::vector<std::string> replacement_names();
 
 /// Replacement state for a single set of `ways` ways.
 /// Way indices are dense [0, ways).

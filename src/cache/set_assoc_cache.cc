@@ -1,20 +1,36 @@
 #include "cache/set_assoc_cache.h"
 
+#include <algorithm>
+#include <array>
+
 #include "common/check.h"
 
 namespace meecc::cache {
 
 SetAssocCache::SetAssocCache(const Geometry& geometry,
-                             ReplacementKind replacement, Rng rng)
+                             const PolicyConfig& config, Rng rng)
     : geometry_(geometry) {
   geometry_.validate();
+  indexing_ = make_indexing_policy(config, geometry_);
+  fill_ = make_fill_policy(config, geometry_);
+  const auto replacement = replacement_from_name(config.replacement);
   const auto sets = geometry_.sets();
   lines_.resize(sets * geometry_.ways);
   set_evictions_.assign(sets, 0);
   policy_.reserve(sets);
+  // Fork order is load-bearing: one fork per set first (exactly the legacy
+  // stream), then the leftover parent state seeds the cache-level rng.
   for (std::uint64_t s = 0; s < sets; ++s)
     policy_.push_back(make_policy(replacement, geometry_.ways, rng.fork()));
+  rng_ = std::move(rng);
 }
+
+SetAssocCache::SetAssocCache(const Geometry& geometry,
+                             ReplacementKind replacement, Rng rng)
+    : SetAssocCache(
+          geometry,
+          PolicyConfig{.replacement = std::string(to_string(replacement))},
+          std::move(rng)) {}
 
 SetAssocCache::LineState& SetAssocCache::line_at(std::uint64_t set,
                                                  std::uint32_t way) {
@@ -26,100 +42,127 @@ const SetAssocCache::LineState& SetAssocCache::line_at(
   return lines_[set * geometry_.ways + way];
 }
 
-std::optional<std::uint32_t> SetAssocCache::find_way(PhysAddr addr) const {
-  const auto set = geometry_.set_index(addr);
-  const auto tag = geometry_.tag(addr);
+std::optional<SetAssocCache::Slot> SetAssocCache::find_slot(
+    std::uint64_t line) const {
+  const bool way_dependent = indexing_->way_dependent();
+  const auto set0 = indexing_->set_of(line, 0);
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    const auto& line = line_at(set, w);
-    if (line.valid && line.tag == tag) return w;
+    const auto set = way_dependent ? indexing_->set_of(line, w) : set0;
+    const auto& state = line_at(set, w);
+    if (state.valid && state.line == line) return Slot{set, w};
   }
   return std::nullopt;
 }
 
 bool SetAssocCache::contains(PhysAddr addr) const {
-  return find_way(addr).has_value();
+  return find_slot(addr.raw / geometry_.line_size).has_value();
 }
 
 bool SetAssocCache::lookup(PhysAddr addr) {
-  const auto way = find_way(addr);
-  if (!way) {
+  const auto slot = find_slot(addr.raw / geometry_.line_size);
+  if (!slot) {
     ++stats_.misses;
     return false;
   }
   ++stats_.hits;
-  policy_[geometry_.set_index(addr)]->touch(*way);
+  policy_[slot->set]->touch(slot->way);
   return true;
 }
 
-std::optional<PhysAddr> SetAssocCache::fill(PhysAddr addr, WayMask allowed) {
-  MEECC_CHECK_MSG(allowed != 0, "fill with empty way mask");
-  const auto set = geometry_.set_index(addr);
-  const auto tag = geometry_.tag(addr);
+SetAssocCache::Slot SetAssocCache::pick_victim(std::uint64_t line,
+                                               WayMask allowed) {
+  if (indexing_->way_dependent()) {
+    // Skewed indexing: candidate victims live in different sets per way, so
+    // no single per-set replacement state spans them. Prefer an invalid
+    // allowed slot, else evict a uniformly random allowed way — the standard
+    // choice for skewed caches.
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+      if (!(allowed & (WayMask{1} << w))) continue;
+      const auto set = indexing_->set_of(line, w);
+      if (!line_at(set, w).valid) return Slot{set, w};
+    }
+    std::array<std::uint32_t, 64> candidates{};
+    std::uint32_t n = 0;
+    for (std::uint32_t w = 0; w < geometry_.ways && n < candidates.size(); ++w)
+      if (allowed & (WayMask{1} << w)) candidates[n++] = w;
+    const auto w = candidates[rng_.next_below(n)];
+    return Slot{indexing_->set_of(line, w), w};
+  }
 
-  if (const auto way = find_way(addr)) {
-    policy_[set]->touch(*way);  // already resident: refresh
+  const auto set = indexing_->set_of(line, 0);
+
+  // Prefer an invalid allowed way.
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (!(allowed & (WayMask{1} << w))) continue;
+    if (!line_at(set, w).valid) return Slot{set, w};
+  }
+
+  // Ask the policy, skipping disallowed ways by re-touching them so the
+  // policy walks elsewhere. Bounded retries keep this terminating even for
+  // degenerate masks; fall back to the lowest allowed way.
+  auto& policy = *policy_[set];
+  std::optional<std::uint32_t> chosen;
+  for (int attempt = 0; attempt < 32 && !chosen; ++attempt) {
+    const auto v = policy.victim();
+    if (allowed & (WayMask{1} << v)) {
+      chosen = v;
+    } else {
+      policy.touch(v);
+    }
+  }
+  if (!chosen) {
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+      if (allowed & (WayMask{1} << w)) {
+        chosen = w;
+        break;
+      }
+    }
+  }
+  return Slot{set, *chosen};
+}
+
+std::optional<PhysAddr> SetAssocCache::fill(PhysAddr addr, WayMask allowed,
+                                            CoreId requester) {
+  allowed &= fill_->allowed_ways(requester);
+  MEECC_CHECK_MSG(allowed != 0, "fill with empty way mask");
+  const auto line = addr.raw / geometry_.line_size;
+
+  if (const auto slot = find_slot(line)) {
+    policy_[slot->set]->touch(slot->way);  // already resident: refresh
     return std::nullopt;
   }
 
-  // Prefer an invalid allowed way.
-  std::optional<std::uint32_t> chosen;
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (!(allowed & (WayMask{1} << w))) continue;
-    if (!line_at(set, w).valid) {
-      chosen = w;
-      break;
-    }
-  }
+  // A stochastic fill policy may decline the miss: nothing installed,
+  // nothing evicted. Deterministic policies never consume rng_ here.
+  if (!fill_->admits(requester, rng_)) return std::nullopt;
 
+  const auto victim = pick_victim(line, allowed);
+  auto& victim_line = line_at(victim.set, victim.way);
   std::optional<PhysAddr> evicted;
-  if (!chosen) {
-    // Ask the policy, skipping disallowed ways by re-touching them so the
-    // policy walks elsewhere. Bounded retries keep this terminating even for
-    // degenerate masks; fall back to the lowest allowed way.
-    auto& policy = *policy_[set];
-    for (int attempt = 0; attempt < 32 && !chosen; ++attempt) {
-      const auto v = policy.victim();
-      if (allowed & (WayMask{1} << v)) {
-        chosen = v;
-      } else {
-        policy.touch(v);
-      }
-    }
-    if (!chosen) {
-      for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-        if (allowed & (WayMask{1} << w)) {
-          chosen = w;
-          break;
-        }
-      }
-    }
-    auto& victim_line = line_at(set, *chosen);
-    if (victim_line.valid) {
-      ++stats_.evictions;
-      ++set_evictions_[set];
-      evicted = geometry_.line_address(victim_line.tag, set);
-    }
+  if (victim_line.valid) {
+    // Exactly one eviction per displaced VALID line: a slot freed by
+    // invalidate() (or picked while still empty) must not count.
+    ++stats_.evictions;
+    ++set_evictions_[victim.set];
+    evicted = PhysAddr{victim_line.line * geometry_.line_size};
   }
-
-  auto& line = line_at(set, *chosen);
-  line.valid = true;
-  line.tag = tag;
-  policy_[set]->touch(*chosen);
+  victim_line.valid = true;
+  victim_line.line = line;
+  policy_[victim.set]->touch(victim.way);
   return evicted;
 }
 
-bool SetAssocCache::access(PhysAddr addr, WayMask allowed) {
+bool SetAssocCache::access(PhysAddr addr, WayMask allowed, CoreId requester) {
   if (lookup(addr)) return true;
-  fill(addr, allowed);
+  fill(addr, allowed, requester);
   return false;
 }
 
 bool SetAssocCache::invalidate(PhysAddr addr) {
-  const auto way = find_way(addr);
-  if (!way) return false;
-  const auto set = geometry_.set_index(addr);
-  line_at(set, *way).valid = false;
-  policy_[set]->invalidate(*way);
+  const auto slot = find_slot(addr.raw / geometry_.line_size);
+  if (!slot) return false;
+  line_at(slot->set, slot->way).valid = false;
+  policy_[slot->set]->invalidate(slot->way);
   ++stats_.invalidations;
   return true;
 }
@@ -136,6 +179,19 @@ void SetAssocCache::flush_all() {
   }
 }
 
+void SetAssocCache::rekey() {
+  flush_all();
+  indexing_->rekey(rng_.next_u64());
+}
+
+void SetAssocCache::reset_stats() {
+  stats_ = CacheStats{};
+  // The per-set tallies feed the detector and must stay consistent with
+  // stats_.evictions (property_test asserts the sum); resetting one without
+  // the other let them drift.
+  std::fill(set_evictions_.begin(), set_evictions_.end(), 0);
+}
+
 std::uint32_t SetAssocCache::occupancy(std::uint64_t set) const {
   MEECC_CHECK(set < geometry_.sets());
   std::uint32_t n = 0;
@@ -149,7 +205,7 @@ std::vector<PhysAddr> SetAssocCache::resident_lines(std::uint64_t set) const {
   std::vector<PhysAddr> result;
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
     const auto& line = line_at(set, w);
-    if (line.valid) result.push_back(geometry_.line_address(line.tag, set));
+    if (line.valid) result.push_back(PhysAddr{line.line * geometry_.line_size});
   }
   return result;
 }

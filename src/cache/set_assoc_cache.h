@@ -1,6 +1,12 @@
 // Generic physically-indexed set-associative cache (state only, no timing —
 // latency is the caller's concern so the same structure serves L1/L2/LLC and
 // the MEE cache).
+//
+// The cache composes three orthogonal policies (cache/policy.h):
+//   indexing    — how a line index maps to a set (modulo / keyed / skewed)
+//   replacement — which resident way a full set gives up (replacement.h)
+//   fill        — which ways a requester may claim, and whether the miss is
+//                 admitted at all (all / partition / random)
 #pragma once
 
 #include <cstdint>
@@ -9,6 +15,7 @@
 #include <vector>
 
 #include "cache/geometry.h"
+#include "cache/policy.h"
 #include "cache/replacement.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -27,13 +34,15 @@ struct CacheStats {
   }
 };
 
-/// Mask of ways a fill is allowed to victimize; bit w = way w allowed.
-/// Used by the way-partitioning mitigation ablation (§5.5).
-using WayMask = std::uint32_t;
-inline constexpr WayMask kAllWays = ~WayMask{0};
-
 class SetAssocCache {
  public:
+  /// Composes the full policy stack named by `config`. The per-set
+  /// replacement policies fork from `rng` first (one fork per set, in set
+  /// order); the remainder seeds the cache-level rng used by stochastic
+  /// policies (random fill admission, skewed victim selection, rekey).
+  SetAssocCache(const Geometry& geometry, const PolicyConfig& config, Rng rng);
+
+  /// Classic shape: modulo indexing, all-ways fill, `replacement`.
   SetAssocCache(const Geometry& geometry, ReplacementKind replacement, Rng rng);
 
   /// Probe without side effects: is the line resident?
@@ -45,20 +54,32 @@ class SetAssocCache {
 
   /// Inserts the line, evicting if needed. Returns the evicted line's base
   /// address, if a valid line was displaced. `allowed` restricts candidate
-  /// victim ways (the line itself may still hit in a disallowed way).
-  std::optional<PhysAddr> fill(PhysAddr addr, WayMask allowed = kAllWays);
+  /// victim ways and is intersected with the fill policy's mask for
+  /// `requester` (the line itself may still hit in a disallowed way). A
+  /// stochastic fill policy may decline the miss entirely (no install, no
+  /// eviction).
+  std::optional<PhysAddr> fill(PhysAddr addr, WayMask allowed = kAllWays,
+                               CoreId requester = CoreId{0});
 
   /// Convenience: lookup, then fill on miss. Returns true on hit.
-  bool access(PhysAddr addr, WayMask allowed = kAllWays);
+  bool access(PhysAddr addr, WayMask allowed = kAllWays,
+              CoreId requester = CoreId{0});
 
   /// Removes the line if present (clflush / back-invalidation).
   bool invalidate(PhysAddr addr);
 
   void flush_all();
 
+  /// Flush everything and install a fresh indexing key (CEASER-style
+  /// rekey): residents mapped under the old key would be unfindable, so
+  /// correctness requires the flush. No-op key-wise for keyless indexing.
+  void rekey();
+
   const Geometry& geometry() const { return geometry_; }
+  const IndexingPolicy& indexing() const { return *indexing_; }
+  const FillPolicy& fill_policy() const { return *fill_; }
   const CacheStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = CacheStats{}; }
+  void reset_stats();
 
   /// Number of valid lines currently in `set` (for tests / introspection).
   std::uint32_t occupancy(std::uint64_t set) const;
@@ -76,18 +97,31 @@ class SetAssocCache {
  private:
   struct LineState {
     bool valid = false;
-    std::uint64_t tag = 0;
+    /// Full line index (addr / line_size). Stored whole — a truncated tag
+    /// cannot reconstruct the evicted address under a keyed permutation.
+    std::uint64_t line = 0;
+  };
+
+  struct Slot {
+    std::uint64_t set = 0;
+    std::uint32_t way = 0;
   };
 
   LineState& line_at(std::uint64_t set, std::uint32_t way);
   const LineState& line_at(std::uint64_t set, std::uint32_t way) const;
-  std::optional<std::uint32_t> find_way(PhysAddr addr) const;
+  std::optional<Slot> find_slot(std::uint64_t line) const;
+  Slot pick_victim(std::uint64_t line, WayMask allowed);
 
   Geometry geometry_;
+  std::unique_ptr<IndexingPolicy> indexing_;
+  std::unique_ptr<FillPolicy> fill_;
   std::vector<LineState> lines_;  // sets * ways, row-major by set
   std::vector<std::unique_ptr<ReplacementPolicy>> policy_;  // one per set
   std::vector<std::uint64_t> set_evictions_;
   CacheStats stats_;
+  /// Forked last in the constructor; the default (modulo / all-ways) stack
+  /// never draws from it, keeping legacy streams byte-identical.
+  Rng rng_;
 };
 
 }  // namespace meecc::cache

@@ -4,15 +4,6 @@
 
 namespace meecc::channel {
 
-mee::MeePartitionFn make_way_partition(std::uint32_t ways) {
-  MEECC_CHECK(ways >= 2 && ways % 2 == 0);
-  const cache::WayMask low_half = (cache::WayMask{1} << (ways / 2)) - 1;
-  const cache::WayMask high_half = low_half << (ways / 2);
-  return [low_half, high_half](CoreId core) {
-    return (core.value % 2 == 0) ? low_half : high_half;
-  };
-}
-
 namespace {
 
 sim::Process legit_workload_process(sim::Actor& actor,

@@ -1,13 +1,15 @@
-// §5.5 mitigation ablation: way-partitioning the MEE cache by requesting
-// core, CATalyst-style [8], and what it costs.
+// §5.5 mitigation ablation support: what a countermeasure costs a
+// well-behaved tenant.
 //
-// Partitioned fills confine each core's tree lines to its own ways, so the
-// trojan can no longer evict the spy's versions line — the direct channel
-// dies. But the paper's caveat stands: the integrity tree itself is SHARED
-// state. Partitioning cannot attribute a tree line to a tenant (upper-level
-// nodes cover many enclaves' pages), halving effective associativity for
-// everyone and leaving cross-partition hit/miss observability on shared
-// nodes (a residual, lower-bandwidth side channel we quantify in the bench).
+// The mitigations themselves are cache policies now — select them through
+// MeeConfig::cache_policy (cache/policy.h), e.g. fill="partition" for the
+// CATalyst-style way split or indexing="keyed" for a randomized index. The
+// paper's caveat stands regardless of mechanism: the integrity tree itself
+// is SHARED state. Partitioning cannot attribute a tree line to a tenant
+// (upper-level nodes cover many enclaves' pages), halving effective
+// associativity for everyone and leaving cross-partition hit/miss
+// observability on shared nodes (a residual, lower-bandwidth side channel
+// the mitigations experiments quantify).
 #pragma once
 
 #include <array>
@@ -18,10 +20,6 @@
 #include "mee/engine.h"
 
 namespace meecc::channel {
-
-/// Way mask giving even cores the low half and odd cores the high half of
-/// the MEE cache's ways.
-mee::MeePartitionFn make_way_partition(std::uint32_t ways);
 
 struct LegitWorkloadStats {
   std::array<std::uint64_t, 5> stops{};   ///< walk stop level counts

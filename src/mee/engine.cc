@@ -49,37 +49,51 @@ MeeEngine::MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
       memory_(memory),
       config_(config),
       geometry_(map),
-      cache_(config.cache_geometry, config.cache_replacement, rng.fork()),
+      cache_(config.cache_geometry, config.cache_policy, rng.fork()),
       cipher_(config.data_key),
       mac_(crypto::make_mac_scheme(config.mac_kind, config.mac_key)),
       root_counters_(geometry_.root_entries(), 0),
       rng_(rng),
       hub_(hub) {
-  if (hub_ != nullptr) {
-    auto& registry = hub_->registry();
-    read_walks_ = registry.counter("mee", "read_walks");
-    write_walks_ = registry.counter("mee", "write_walks");
-    nodes_fetched_ = registry.counter("mee", "nodes_fetched");
-    mac_node_verifies_ = registry.counter("mee.mac", "node_verifies");
-    mac_tag_verifies_ = registry.counter("mee.mac", "tag_verifies");
-    // The MEE cache's even/odd set-class split: versions-walk lookups land
-    // in even sets, PD_Tag lookups in the odd partner sets (paper §4).
-    versions_class_hits_ = registry.counter("mee.cache.versions_class", "hits");
-    versions_class_misses_ =
-        registry.counter("mee.cache.versions_class", "misses");
-    tag_hits_ = registry.counter("mee.cache.tag_class", "hits");
-    tag_misses_ = registry.counter("mee.cache.tag_class", "misses");
-    tampers_ = registry.counter("mee", "tampers_detected");
-    wait_cycles_ = registry.counter("mee", "wait_cycles");
-    stop_counters_ = make_stop_counters(registry, "mee.stop");
-  }
+  // The counters ARE the bookkeeping (stats() reads them back), so they
+  // must count even without a hub: engines built standalone bind against a
+  // private registry instead.
+  if (hub_ == nullptr) local_registry_ = std::make_unique<obs::Registry>();
+  registry_ = hub_ != nullptr ? &hub_->registry() : local_registry_.get();
+  auto& registry = *registry_;
+  read_walks_ = registry.counter("mee", "read_walks");
+  write_walks_ = registry.counter("mee", "write_walks");
+  nodes_fetched_ = registry.counter("mee", "nodes_fetched");
+  mac_node_verifies_ = registry.counter("mee.mac", "node_verifies");
+  mac_tag_verifies_ = registry.counter("mee.mac", "tag_verifies");
+  // The MEE cache's even/odd set-class split: versions-walk lookups land
+  // in even sets, PD_Tag lookups in the odd partner sets (paper §4).
+  versions_class_hits_ = registry.counter("mee.cache.versions_class", "hits");
+  versions_class_misses_ =
+      registry.counter("mee.cache.versions_class", "misses");
+  tag_hits_ = registry.counter("mee.cache.tag_class", "hits");
+  tag_misses_ = registry.counter("mee.cache.tag_class", "misses");
+  tampers_ = registry.counter("mee", "tampers_detected");
+  wait_cycles_ = registry.counter("mee", "wait_cycles");
+  rekeys_ = registry.counter("mee.cache", "rekeys");
+  stop_counters_ = make_stop_counters(registry, "mee.stop");
+}
+
+MeeStats MeeEngine::stats() const {
+  MeeStats stats;
+  for (std::size_t level = 0; level < stats.stops.size(); ++level)
+    stats.stops[level] = stop_counters_[level].value();
+  stats.reads = read_walks_.value();
+  stats.writes = write_walks_.value();
+  stats.tag_hits = tag_hits_.value();
+  stats.tag_misses = tag_misses_.value();
+  stats.tampers_detected = tampers_.value();
+  return stats;
 }
 
 void MeeEngine::count_walk(CoreId core, const WalkResult& walk,
                            PhysAddr data_addr, Cycles now, bool is_write) {
   const auto level = static_cast<std::size_t>(walk.stop_level);
-  stats_.stops[level]++;
-  if (hub_ == nullptr) return;
   stop_counters_[level].inc();
   nodes_fetched_.inc(walk.fetched.size());
   if (walk.stop_level == Level::kVersions)
@@ -90,10 +104,10 @@ void MeeEngine::count_walk(CoreId core, const WalkResult& walk,
     per_core_stops_.resize(core.value + 1);
   if (!per_core_stops_[core.value][level].bound()) {
     per_core_stops_[core.value] = make_stop_counters(
-        hub_->registry(), "mee.core" + std::to_string(core.value) + ".stop");
+        *registry_, "mee.core" + std::to_string(core.value) + ".stop");
   }
   per_core_stops_[core.value][level].inc();
-  if (hub_->tracing())
+  if (hub_ != nullptr && hub_->tracing())
     hub_->trace({.cycle = now == kArriveWhenIdle ? Cycles{0} : now,
                  .component = obs::Component::kMee,
                  .core = core.value,
@@ -103,8 +117,17 @@ void MeeEngine::count_walk(CoreId core, const WalkResult& walk,
                  .value = static_cast<std::int64_t>(walk.fetched.size())});
 }
 
-cache::WayMask MeeEngine::mask_for(CoreId core) const {
-  return partition_ ? partition_(core) : cache::kAllWays;
+void MeeEngine::maybe_rekey() {
+  const auto period = config_.cache_policy.rekey_period;
+  if (period == 0) return;
+  if (++walks_since_rekey_ < period) return;
+  walks_since_rekey_ = 0;
+  // Flush-and-rekey: residents indexed under the old key would be
+  // unfindable, so the flush is a correctness requirement, and it is
+  // exactly what makes rekeying a (costly) mitigation — every walk after
+  // this misses down to the root.
+  cache_.rekey();
+  rekeys_.inc();
 }
 
 std::uint64_t MeeEngine::parent_counter(Level level, std::uint64_t chunk) const {
@@ -124,7 +147,6 @@ void MeeEngine::verify_node(Level level, std::uint64_t chunk) {
   const std::uint64_t parent = parent_counter(level, chunk);
   if (node.is_genesis()) {
     if (parent != 0) {
-      ++stats_.tampers_detected;
       tampers_.inc();
       throw TamperDetected(level, addr);
     }
@@ -133,7 +155,6 @@ void MeeEngine::verify_node(Level level, std::uint64_t chunk) {
   }
   const auto payload = counter_payload(node);
   if (!mac_->verify(addr.raw, parent, payload, node.mac)) {
-    ++stats_.tampers_detected;
     tampers_.inc();
     throw TamperDetected(level, addr);
   }
@@ -163,10 +184,11 @@ MeeEngine::WalkResult MeeEngine::walk_and_verify(CoreId core,
     verify_node(*it, chunk);
 
   // Install the now-verified nodes, top-down so the versions line ends up
-  // most recently used (it is re-checked on every subsequent access).
-  const cache::WayMask mask = mask_for(core);
+  // most recently used (it is re-checked on every subsequent access). The
+  // fill policy (all / partition / random) decides which ways `core` may
+  // claim.
   for (auto it = result.fetched.rbegin(); it != result.fetched.rend(); ++it)
-    cache_.fill(geometry_.node_addr(*it, chunk), mask);
+    cache_.fill(geometry_.node_addr(*it, chunk), cache::kAllWays, core);
 
   return result;
 }
@@ -199,8 +221,8 @@ Cycles MeeEngine::occupy_engine(Cycles now, std::uint32_t nodes_fetched) {
 MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
                                      mem::Line* out, Cycles now) {
   MEECC_CHECK(map_.classify(data_addr) == mem::RegionKind::kProtectedData);
-  ++stats_.reads;
   read_walks_.inc();
+  maybe_rekey();
   const std::uint64_t chunk = geometry_.chunk_of(data_addr);
   const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
   const PhysAddr line_addr = data_addr.line_base();
@@ -212,12 +234,10 @@ MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
   // its DRAM fetch overlaps the data fetch, so it adds no latency class.
   const PhysAddr tag_addr = geometry_.tag_line_addr(chunk);
   if (cache_.lookup(tag_addr)) {
-    ++stats_.tag_hits;
     tag_hits_.inc();
   } else {
-    ++stats_.tag_misses;
     tag_misses_.inc();
-    cache_.fill(tag_addr, mask_for(core));
+    cache_.fill(tag_addr, cache::kAllWays, core);
   }
 
   if (config_.functional_crypto) {
@@ -233,7 +253,6 @@ MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
     } else {
       mac_tag_verifies_.inc();
       if (!mac_->verify(line_addr.raw, version, ciphertext, expected_tag)) {
-        ++stats_.tampers_detected;
         tampers_.inc();
         throw TamperDetected(Level::kVersions, line_addr);
       }
@@ -254,8 +273,8 @@ MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
 MeeAccessResult MeeEngine::write_line(CoreId core, PhysAddr data_addr,
                                       const mem::Line& plaintext, Cycles now) {
   MEECC_CHECK(map_.classify(data_addr) == mem::RegionKind::kProtectedData);
-  ++stats_.writes;
   write_walks_.inc();
+  maybe_rekey();
   const std::uint64_t chunk = geometry_.chunk_of(data_addr);
   const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
   const PhysAddr line_addr = data_addr.line_base();
@@ -311,9 +330,9 @@ MeeAccessResult MeeEngine::write_line(CoreId core, PhysAddr data_addr,
   }
 
   // The whole path plus the tag line is hot after a write.
-  const cache::WayMask mask = mask_for(core);
-  for (Level level : kWalkOrder) cache_.fill(geometry_.node_addr(level, chunk), mask);
-  cache_.fill(geometry_.tag_line_addr(chunk), mask);
+  for (Level level : kWalkOrder)
+    cache_.fill(geometry_.node_addr(level, chunk), cache::kAllWays, core);
+  cache_.fill(geometry_.tag_line_addr(chunk), cache::kAllWays, core);
 
   MeeAccessResult result;
   result.stop_level = walk.stop_level;

@@ -24,7 +24,7 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -80,7 +80,10 @@ struct MeeLatencyConfig {
 
 struct MeeConfig {
   cache::Geometry cache_geometry = cache::mee_cache_geometry();
-  cache::ReplacementKind cache_replacement = cache::ReplacementKind::kTreePlru;
+  /// MEE-cache policy stack (indexing × replacement × fill) plus the
+  /// periodic-rekey knob; defaults reproduce the hardware the paper
+  /// reverse engineers (modulo / tree-plru / all ways, no rekey).
+  cache::PolicyConfig cache_policy;
   MeeLatencyConfig latency;
   /// When false, skips AES/MAC computation (data stored as plaintext) for
   /// timing-only experiments; the walk, caching and latency are identical.
@@ -100,6 +103,9 @@ struct MeeAccessResult {
   Cycles extra_latency = 0;              ///< on top of the data DRAM fetch
 };
 
+/// Walk/verify tallies, derived on demand from the obs counters (the
+/// counters are the single source of truth; this struct is a convenience
+/// view so callers need not know the counter names).
 struct MeeStats {
   std::array<std::uint64_t, 5> stops{};  ///< indexed by StopLevel
   std::uint64_t reads = 0;
@@ -108,10 +114,6 @@ struct MeeStats {
   std::uint64_t tag_misses = 0;
   std::uint64_t tampers_detected = 0;
 };
-
-/// Restricts which MEE-cache ways a requester's fills may claim
-/// (way-partitioning mitigation ablation, §5.5).
-using MeePartitionFn = std::function<cache::WayMask(CoreId)>;
 
 class MeeEngine {
  public:
@@ -138,14 +140,14 @@ class MeeEngine {
                              const mem::Line& plaintext,
                              Cycles now = kArriveWhenIdle);
 
-  void set_partition(MeePartitionFn fn) { partition_ = std::move(fn); }
-
   const TreeGeometry& geometry() const { return geometry_; }
   const cache::SetAssocCache& cache() const { return cache_; }
   cache::SetAssocCache& mutable_cache() { return cache_; }
-  const MeeStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MeeStats{}; }
+  /// Snapshot of the walk counters (single source of truth; see MeeStats).
+  MeeStats stats() const;
   const MeeConfig& config() const { return config_; }
+  /// Completed flush+rekey events (nonzero only with cache_policy.rekey_period).
+  std::uint64_t rekeys() const { return rekeys_.value(); }
 
   /// Current version counter of a data line (tests / diagnostics).
   std::uint64_t version_counter(PhysAddr data_addr) const;
@@ -161,7 +163,8 @@ class MeeEngine {
                   Cycles now, bool is_write);
   std::uint64_t parent_counter(Level level, std::uint64_t chunk) const;
   void verify_node(Level level, std::uint64_t chunk);
-  cache::WayMask mask_for(CoreId core) const;
+  /// Flush+rekey the MEE cache every cache_policy.rekey_period walks.
+  void maybe_rekey();
   Cycles walk_latency(std::uint32_t nodes_fetched);
   /// Queueing delay for a request arriving at `now`; advances busy_until_.
   Cycles occupy_engine(Cycles now, std::uint32_t nodes_fetched);
@@ -174,12 +177,17 @@ class MeeEngine {
   crypto::LineCipher cipher_;
   std::unique_ptr<crypto::MacScheme> mac_;
   std::vector<std::uint64_t> root_counters_;
-  MeePartitionFn partition_;
   Rng rng_;
-  MeeStats stats_;
   Cycles busy_until_ = 0;
+  std::uint64_t walks_since_rekey_ = 0;
 
   obs::Hub* hub_ = nullptr;
+  /// Fallback registry when no hub is attached, so every counter is always
+  /// bound and stats() never loses events (the dedup that retired the old
+  /// parallel MeeStats bookkeeping depends on this).
+  std::unique_ptr<obs::Registry> local_registry_;
+  /// Hub registry when attached, else *local_registry_.
+  obs::Registry* registry_ = nullptr;
   obs::Counter read_walks_;
   obs::Counter write_walks_;
   obs::Counter nodes_fetched_;
@@ -191,6 +199,7 @@ class MeeEngine {
   obs::Counter tag_misses_;
   obs::Counter tampers_;
   obs::Counter wait_cycles_;
+  obs::Counter rekeys_;
   std::array<obs::Counter, 5> stop_counters_;  ///< indexed by StopLevel
   /// Per-core stop distribution, grown lazily (the engine does not know the
   /// core count). Lets an experiment separate its own walks from co-tenant

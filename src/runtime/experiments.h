@@ -12,10 +12,14 @@ namespace meecc::runtime {
 /// llc_baseline.
 void register_figure_experiments();
 
-/// Beyond-paper ablations: detection, EPC placement, mitigations.
+/// Beyond-paper ablations: detection, EPC placement, way-partition cost.
 void register_ablation_experiments();
 
-/// Both of the above, exactly once per process.
+/// Countermeasure studies over the cache-policy layer: `mitigations`
+/// (indexing sweep) and `mitigation_rekey` (periodic flush+rekey sweep).
+void register_mitigation_experiments();
+
+/// All of the above, exactly once per process.
 void register_builtin_experiments();
 
 }  // namespace meecc::runtime

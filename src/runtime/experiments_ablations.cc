@@ -117,15 +117,12 @@ TrialResult run_epc_placement(const TrialSpec& spec) {
 // --- way-partitioning mitigation ----------------------------------------
 
 TrialResult run_mitigations(const TrialSpec& spec) {
-  const bool partitioned = param_bool(spec, "partitioned", false);
+  // The way split is a fill policy now; the sweep axis is mee.cache.fill.
+  const bool partitioned = param_str(spec, "mee.cache.fill", "all") != "all";
   auto make_bed = [&](std::uint64_t seed) {
     channel::TestBedConfig config = make_testbed_config(spec);
     config.system.seed = seed;
-    auto bed = std::make_unique<channel::TestBed>(config);
-    if (partitioned)
-      bed->system().mee().set_partition(channel::make_way_partition(
-          bed->system().mee().config().cache_geometry.ways));
-    return bed;
+    return std::make_unique<channel::TestBed>(config);
   };
 
   const auto payload =
@@ -195,15 +192,14 @@ void register_ablation_experiments() {
        .run = run_epc_placement});
   register_experiment(
       {.name = "ablation_mitigations",
-       .description = "way-partitioned MEE cache: stops the channel, taxes "
-                      "legit enclaves",
+       .description = "way-partitioned MEE cache (fill policy): stops the "
+                      "channel, taxes legit enclaves",
        .paper_ref = "§5.5",
        .default_params = {{"functional_crypto", "false"},
-                          {"partitioned", "false"},
                           {"bits", "192"},
                           {"legit_bytes", "262144"},
                           {"legit_samples", "3000"}},
-       .default_sweeps = {{"partitioned", "false,true"}},
+       .default_sweeps = {{"mee.cache.fill", "all,partition"}},
        .run = run_mitigations});
 }
 
@@ -211,6 +207,7 @@ void register_builtin_experiments() {
   static const bool once = [] {
     register_figure_experiments();
     register_ablation_experiments();
+    register_mitigation_experiments();
     return true;
   }();
   (void)once;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
+#include "cache/policy.h"
+#include "cache/replacement.h"
 #include "mem/frame_allocator.h"
 
 namespace meecc::runtime {
@@ -45,6 +48,34 @@ channel::NoiseEnv parse_noise(std::string_view key, std::string_view value) {
   const auto env = channel::noise_env_from_string(lower(value));
   if (!env) bad_value(key, value, "none|stress|mee512|mee4k");
   return *env;
+}
+
+/// Validates a policy name against its registry at parse time, so a typo in
+/// --set/--sweep fails before any trial runs, naming the alternatives.
+std::string parse_policy_name(std::string_view key, std::string_view value,
+                              bool known,
+                              const std::vector<std::string>& names) {
+  if (known) return std::string(value);
+  std::string expected;
+  for (const auto& name : names) {
+    if (!expected.empty()) expected += '|';
+    expected += name;
+  }
+  bad_value(key, value, expected);
+}
+
+/// Count-like values that users spell in scientific notation ("1e6").
+std::uint64_t parse_count(std::string_view key, std::string_view value) {
+  const double v = parse_double(key, value);
+  if (!(v >= 0.0) || v != std::floor(v) || v > 1e18)
+    bad_value(key, value, "a non-negative integer count (1e6 ok)");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_probability(std::string_view key, std::string_view value) {
+  const double v = parse_double(key, value);
+  if (!(v >= 0.0 && v <= 1.0)) bad_value(key, value, "a probability in [0,1]");
+  return v;
 }
 
 using SystemApply = void (*)(sim::SystemConfig&, std::string_view,
@@ -122,6 +153,52 @@ constexpr SystemParam kSystemParams[] = {
     {"mee.service_per_node", "engine occupancy per fetched node",
      [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
        c.mee.latency.service_per_node = parse_u64(k, v);
+     }},
+    {"mee.cache.indexing", "MEE set-index policy: modulo|keyed|skewed",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.cache_policy.indexing =
+           parse_policy_name(k, v, cache::is_indexing_policy(v),
+                             cache::indexing_policy_names());
+     }},
+    {"mee.cache.replacement",
+     "MEE replacement policy: lru|nru|random|tree-plru",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.cache_policy.replacement =
+           parse_policy_name(k, v, cache::is_replacement_policy(v),
+                             cache::replacement_names());
+     }},
+    {"mee.cache.fill", "MEE fill policy: all|partition|random",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.cache_policy.fill = parse_policy_name(
+           k, v, cache::is_fill_policy(v), cache::fill_policy_names());
+     }},
+    {"mee.cache.index_key", "keyed/skewed index permutation key",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.cache_policy.index_key = parse_u64(k, v);
+     }},
+    {"mee.cache.skew_partitions", "way groups with independent index keys",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.cache_policy.skew_partitions = parse_u32(k, v);
+     }},
+    {"mee.cache.fill_probability", "random-fill admission probability",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.cache_policy.fill_probability = parse_probability(k, v);
+     }},
+    {"mee.cache.rekey_period", "walks between MEE flush+rekey, 0=off (1e6 ok)",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.cache_policy.rekey_period = parse_count(k, v);
+     }},
+    {"llc.indexing", "LLC set-index policy: modulo|keyed|skewed",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.hierarchy.llc_policy.indexing =
+           parse_policy_name(k, v, cache::is_indexing_policy(v),
+                             cache::indexing_policy_names());
+     }},
+    {"llc.replacement", "LLC replacement policy: lru|nru|random|tree-plru",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.hierarchy.llc_policy.replacement =
+           parse_policy_name(k, v, cache::is_replacement_policy(v),
+                             cache::replacement_names());
      }},
 };
 

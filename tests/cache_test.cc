@@ -58,10 +58,11 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, ReplacementTest,
                                            ReplacementKind::kTreePlru,
                                            ReplacementKind::kNru,
                                            ReplacementKind::kRandom),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param)) == "tree-plru"
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param)) ==
+                                          "tree-plru"
                                       ? "TreePlru"
-                                      : std::string(to_string(info.param));
+                                      : std::string(to_string(param_info.param));
                          });
 
 TEST_P(ReplacementTest, VictimAlwaysInRange) {
@@ -210,6 +211,62 @@ TEST(SetAssocCache, WayMaskConfinesVictims) {
   for (const PhysAddr line : resident_before)
     EXPECT_TRUE(cache.contains(line));
   EXPECT_EQ(cache.occupancy(0), 4u);
+}
+
+// Regression: a fill that lands in a slot freed by invalidate() used to be
+// at risk of double-counting. Exactly one eviction per displaced VALID line;
+// reusing an empty slot counts nothing.
+TEST(SetAssocCache, InvalidateThenFillCountsNoEviction) {
+  SetAssocCache cache(tiny_geometry(), ReplacementKind::kLru, Rng(1));
+  const auto& g = cache.geometry();
+  for (std::uint64_t t = 0; t < 4; ++t) cache.fill(addr_for(g, 1, t));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.invalidate(addr_for(g, 1, 2));
+  const auto evicted = cache.fill(addr_for(g, 1, 50));
+  EXPECT_EQ(evicted, std::nullopt);  // took the freed slot, displaced nobody
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.evictions_per_set()[1], 0u);
+
+  // The set is full again: the next fill is a genuine conflict eviction.
+  ASSERT_TRUE(cache.fill(addr_for(g, 1, 51)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.evictions_per_set()[1], 1u);
+}
+
+// The per-set tallies and the aggregate must agree for ANY interleaving of
+// fills and invalidations (the detector consumes the per-set signature).
+TEST(SetAssocCache, PerSetEvictionsSumToAggregate) {
+  SetAssocCache cache(tiny_geometry(), ReplacementKind::kTreePlru, Rng(9));
+  const auto& g = cache.geometry();
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const auto set = rng.next_below(g.sets());
+    const auto tag = rng.next_below(12);
+    if (rng.chance(0.2))
+      cache.invalidate(addr_for(g, set, tag));
+    else
+      cache.fill(addr_for(g, set, tag));
+  }
+  std::uint64_t per_set_sum = 0;
+  for (const auto n : cache.evictions_per_set()) per_set_sum += n;
+  EXPECT_EQ(per_set_sum, cache.stats().evictions);
+  EXPECT_GT(per_set_sum, 0u);
+}
+
+// Regression for the audited bug: reset_stats() cleared the aggregate but
+// left the per-set tallies, letting the two views drift apart.
+TEST(SetAssocCache, ResetStatsClearsPerSetEvictions) {
+  SetAssocCache cache(tiny_geometry(), ReplacementKind::kLru, Rng(1));
+  const auto& g = cache.geometry();
+  for (std::uint64_t t = 0; t < 9; ++t) cache.fill(addr_for(g, 0, t));
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.evictions_per_set()[0], 0u);
+
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u);
+  for (const auto n : cache.evictions_per_set()) EXPECT_EQ(n, 0u);
 }
 
 TEST(SetAssocCache, FlushAllEmptiesEverySet) {

@@ -222,10 +222,9 @@ TEST(TimingStudy, OverheadOrderingMatchesFig2) {
 // -------------------------------------------------------------- mitigation
 
 TEST(Mitigation, WayPartitionHalvesOccupancy) {
-  const auto partition = make_way_partition(8);
-  EXPECT_EQ(partition(CoreId{0}), 0x0Fu);
-  EXPECT_EQ(partition(CoreId{1}), 0xF0u);
-  EXPECT_EQ(partition(CoreId{2}), 0x0Fu);
+  EXPECT_EQ(cache::way_partition_mask(8, CoreId{0}), 0x0Fu);
+  EXPECT_EQ(cache::way_partition_mask(8, CoreId{1}), 0xF0u);
+  EXPECT_EQ(cache::way_partition_mask(8, CoreId{2}), 0x0Fu);
 }
 
 TEST(Mitigation, PartitioningCostsLegitPerformance) {
@@ -234,8 +233,9 @@ TEST(Mitigation, PartitioningCostsLegitPerformance) {
   TestBed baseline_bed(fast_config(7));
   const auto baseline = measure_legit_workload(baseline_bed, 256 * 1024, 2000);
 
-  TestBed partitioned_bed(fast_config(7));
-  partitioned_bed.system().mee().set_partition(make_way_partition(8));
+  TestBedConfig partitioned_config = fast_config(7);
+  partitioned_config.system.mee.cache_policy.fill = "partition";
+  TestBed partitioned_bed(partitioned_config);
   const auto partitioned =
       measure_legit_workload(partitioned_bed, 256 * 1024, 2000);
 

@@ -86,6 +86,58 @@ TEST(CounterInvariants, DesDispatchBookkeeping) {
   EXPECT_GT(value(counters, "des.dispatched"), 0u);
 }
 
+// MeeStats is no longer parallel bookkeeping: stats() is DERIVED from the
+// obs counters, so the struct and the registry can never drift. Assert the
+// derivation reads back the same numbers the snapshot reports.
+TEST(CounterInvariants, MeeStatsAreDerivedFromTheCounters) {
+  channel::TestBed bed(channel::default_testbed_config(19));
+  channel::LatencySurveyConfig config;
+  config.samples_per_stride = 60;
+  channel::run_latency_survey(bed, config);
+
+  const auto counters = bed.system().hub().registry().snapshot();
+  const auto stats = bed.system().mee().stats();
+  EXPECT_EQ(stats.reads, value(counters, "mee.read_walks"));
+  EXPECT_EQ(stats.writes, value(counters, "mee.write_walks"));
+  EXPECT_EQ(stats.tag_hits, value(counters, "mee.cache.tag_class.hits"));
+  EXPECT_EQ(stats.tag_misses, value(counters, "mee.cache.tag_class.misses"));
+  EXPECT_EQ(stats.tampers_detected, value(counters, "mee.tampers_detected"));
+  std::uint64_t stop_sum = 0;
+  for (const auto stops : stats.stops) stop_sum += stops;
+  EXPECT_EQ(stop_sum, obs::snapshot_total(counters, "mee.stop."));
+  EXPECT_GT(stats.reads, 0u);
+}
+
+// The hierarchy's per-cache CacheStats and its cache.* hub counters are
+// maintained on the same events; any workload must leave them equal.
+TEST(CounterInvariants, HierarchyCacheStatsMatchTheCounters) {
+  channel::TestBed bed(channel::default_testbed_config(23));
+  channel::LatencySurveyConfig config;
+  config.samples_per_stride = 60;
+  channel::run_latency_survey(bed, config);
+
+  const auto counters = bed.system().hub().registry().snapshot();
+  auto& hierarchy = bed.system().hierarchy();
+  std::uint64_t l1_hits = 0, l1_misses = 0, l2_hits = 0, l2_misses = 0;
+  for (unsigned c = 0; c < hierarchy.core_count(); ++c) {
+    const auto& l1 = hierarchy.l1(CoreId{c}).stats();
+    const auto& l2 = hierarchy.l2(CoreId{c}).stats();
+    l1_hits += l1.hits;
+    l1_misses += l1.misses;
+    l2_hits += l2.hits;
+    l2_misses += l2.misses;
+  }
+  EXPECT_EQ(l1_hits, value(counters, "cache.l1.hits"));
+  EXPECT_EQ(l1_misses, value(counters, "cache.l1.misses"));
+  EXPECT_EQ(l2_hits, value(counters, "cache.l2.hits"));
+  EXPECT_EQ(l2_misses, value(counters, "cache.l2.misses"));
+
+  const auto& llc = hierarchy.llc().stats();
+  EXPECT_EQ(llc.hits, value(counters, "cache.llc.hits"));
+  EXPECT_EQ(llc.misses, value(counters, "cache.llc.misses"));
+  EXPECT_EQ(llc.evictions, value(counters, "cache.llc.evictions"));
+}
+
 // Counters ride in the TrialRecord, so the runner's determinism contract
 // extends to them: bit-identical at --jobs 1 and --jobs 4.
 TEST(CounterInvariants, IdenticalAcrossJobCounts) {

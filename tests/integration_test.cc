@@ -142,9 +142,10 @@ TEST(LlcBaseline, FastAndNearErrorFree) {
 }
 
 TEST(Mitigation, WayPartitioningBlocksTheDirectChannel) {
-  TestBed bed(fast_config(9));
   // Trojan on core 0 and spy on core 1 land in different partitions.
-  bed.system().mee().set_partition(make_way_partition(8));
+  TestBedConfig bed_config = fast_config(9);
+  bed_config.system.mee.cache_policy.fill = "partition";
+  TestBed bed(bed_config);
   ChannelConfig config;
   const auto payload = alternating_bits(128);
 

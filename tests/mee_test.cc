@@ -323,14 +323,16 @@ TEST_F(EngineTest, RejectsNonProtectedAddress) {
   EXPECT_THROW(engine_.read_line(core_, PhysAddr{0}), CheckFailure);
 }
 
-TEST_F(EngineTest, PartitionConfinesFillsPerCore) {
-  engine_.set_partition([](CoreId core) -> cache::WayMask {
-    return core.value % 2 == 0 ? 0x0F : 0xF0;
-  });
+TEST(EnginePartition, PartitionConfinesFillsPerCore) {
+  const mem::AddressMap map(small_map_config());
+  mem::PhysicalMemory memory;
+  MeeConfig config;
+  config.cache_policy.fill = "partition";
+  MeeEngine engine(map, memory, config, Rng(42));
   // Many distinct pages from core 0 must never occupy ways 4-7.
   for (int p = 0; p < 40; ++p)
-    engine_.read_line(CoreId{0}, data_addr(p * kPageSize));
-  const auto& cache = engine_.cache();
+    engine.read_line(CoreId{0}, map.protected_data().base + p * kPageSize);
+  const auto& cache = engine.cache();
   for (std::uint64_t s = 0; s < cache.geometry().sets(); ++s)
     EXPECT_LE(cache.occupancy(s), 4u);
 }

@@ -1,0 +1,272 @@
+// Cache-policy layer: permutation bijectivity, set coverage, rekey,
+// key decorrelation of eviction sets, way-partition masks, random fill
+// admission, and the string→factory registries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cache/policy.h"
+#include "cache/replacement.h"
+#include "cache/set_assoc_cache.h"
+#include "common/check.h"
+
+namespace meecc::cache {
+namespace {
+
+Geometry test_geometry() { return mee_cache_geometry(); }  // 128 sets, 8 ways
+
+PolicyConfig keyed_config(std::uint64_t key) {
+  PolicyConfig config;
+  config.indexing = "keyed";
+  config.index_key = key;
+  return config;
+}
+
+PhysAddr addr_of_line(const Geometry& g, std::uint64_t line) {
+  return PhysAddr{line * g.line_size};
+}
+
+TEST(KeyedPermutation, IsInjectiveOverAWideRange) {
+  // Every step of the add-xor-multiply chain is invertible, so the map is a
+  // bijection of u64; spot-check injectivity over 2^16 consecutive lines.
+  std::set<std::uint64_t> images;
+  for (std::uint64_t line = 0; line < (1u << 16); ++line)
+    images.insert(keyed_line_permutation(line, 0x1234'5678'9abc'def0ULL));
+  EXPECT_EQ(images.size(), 1u << 16);
+}
+
+TEST(KeyedPermutation, KeyChangesTheMap) {
+  int moved = 0;
+  for (std::uint64_t line = 0; line < 1024; ++line)
+    if (keyed_line_permutation(line, 1) != keyed_line_permutation(line, 2))
+      ++moved;
+  EXPECT_GT(moved, 1000);
+}
+
+TEST(Indexing, EveryPolicyCoversAllSets) {
+  const Geometry g = test_geometry();
+  for (const std::string& name : indexing_policy_names()) {
+    PolicyConfig config;
+    config.indexing = name;
+    const auto policy = make_indexing_policy(config, g);
+    for (std::uint32_t way = 0; way < g.ways; ++way) {
+      std::set<std::uint64_t> sets_seen;
+      // Enough lines that a uniform permutation misses a set with
+      // probability ~e^-64 per set — coverage failures mean a real bug.
+      for (std::uint64_t line = 0; line < g.sets() * 64; ++line) {
+        const auto set = policy->set_of(line, way);
+        ASSERT_LT(set, g.sets()) << name;
+        sets_seen.insert(set);
+      }
+      EXPECT_EQ(sets_seen.size(), g.sets()) << name << " way " << way;
+    }
+  }
+}
+
+TEST(Indexing, ModuloMatchesGeometrySetIndex) {
+  // The default stack must index exactly like the legacy Geometry helper —
+  // this is what keeps the golden trace byte-identical.
+  const Geometry g = test_geometry();
+  const auto policy = make_indexing_policy(PolicyConfig{}, g);
+  for (std::uint64_t line = 0; line < g.sets() * 4 + 3; ++line)
+    EXPECT_EQ(policy->set_of(line, 0), g.set_index(addr_of_line(g, line)));
+  EXPECT_FALSE(policy->way_dependent());
+}
+
+TEST(Indexing, SkewedWayGroupsDisagree) {
+  const Geometry g = test_geometry();
+  PolicyConfig config;
+  config.indexing = "skewed";
+  const auto policy = make_indexing_policy(config, g);
+  EXPECT_TRUE(policy->way_dependent());
+  int disagreements = 0;
+  for (std::uint64_t line = 0; line < 512; ++line)
+    if (policy->set_of(line, 0) != policy->set_of(line, g.ways - 1))
+      ++disagreements;
+  // Independent permutations collide on a 128-set cache ~1/128 of the time.
+  EXPECT_GT(disagreements, 480);
+}
+
+TEST(Indexing, RekeyRemapsKeyedButNotModulo) {
+  const Geometry g = test_geometry();
+  const auto keyed = make_indexing_policy(keyed_config(7), g);
+  std::vector<std::uint64_t> before;
+  for (std::uint64_t line = 0; line < 512; ++line)
+    before.push_back(keyed->set_of(line, 0));
+  keyed->rekey(0xfeed'face'cafe'f00dULL);
+  int moved = 0;
+  for (std::uint64_t line = 0; line < 512; ++line)
+    if (keyed->set_of(line, 0) != before[line]) ++moved;
+  EXPECT_GT(moved, 400);  // ~127/128 of lines land elsewhere
+
+  const auto modulo = make_indexing_policy(PolicyConfig{}, g);
+  modulo->rekey(0xdeadULL);  // documented no-op
+  for (std::uint64_t line = 0; line < 64; ++line)
+    EXPECT_EQ(modulo->set_of(line, 0), line % g.sets());
+}
+
+// The core mitigation property (CEASER): an eviction set built under one
+// key is useless under another. Gather the 8 lines that contest one set
+// under key A and check they scatter under key B.
+TEST(Indexing, TwoKeysDecorrelateEvictionSets) {
+  const Geometry g = test_geometry();
+  const auto under_a = make_indexing_policy(keyed_config(0xAAAA), g);
+  const auto under_b = make_indexing_policy(keyed_config(0xBBBB), g);
+
+  const std::uint64_t target = under_a->set_of(0, 0);
+  std::vector<std::uint64_t> eviction_set;
+  for (std::uint64_t line = 1; eviction_set.size() < g.ways; ++line)
+    if (under_a->set_of(line, 0) == target) eviction_set.push_back(line);
+
+  std::set<std::uint64_t> sets_under_b;
+  for (const auto line : eviction_set)
+    sets_under_b.insert(under_b->set_of(line, 0));
+  // With 128 sets, 8 uniform draws collide rarely; ≥5 distinct sets means
+  // the set no longer concentrates pressure anywhere.
+  EXPECT_GE(sets_under_b.size(), 5u);
+}
+
+TEST(Indexing, EvictionSetFromOldKeyCannotEvictAfterRekey) {
+  const Geometry g = test_geometry();
+  SetAssocCache cache(g, keyed_config(0x5151), Rng(3));
+
+  // Build a conflict set for the victim line's set under the current key.
+  const std::uint64_t victim_line = 17;
+  const std::uint64_t target = cache.indexing().set_of(victim_line, 0);
+  std::vector<std::uint64_t> conflict;
+  for (std::uint64_t line = 1000; conflict.size() < g.ways; ++line)
+    if (cache.indexing().set_of(line, 0) == target) conflict.push_back(line);
+
+  // Sanity: under the SAME key the conflict set evicts the victim.
+  cache.fill(addr_of_line(g, victim_line));
+  for (const auto line : conflict) cache.fill(addr_of_line(g, line));
+  EXPECT_FALSE(cache.contains(addr_of_line(g, victim_line)));
+
+  // After a rekey the stale conflict set scatters and the victim survives.
+  cache.rekey();
+  cache.fill(addr_of_line(g, victim_line));
+  for (const auto line : conflict) cache.fill(addr_of_line(g, line));
+  EXPECT_TRUE(cache.contains(addr_of_line(g, victim_line)));
+}
+
+TEST(Fill, WayPartitionMaskSplitsEvenOddCores) {
+  EXPECT_EQ(way_partition_mask(8, CoreId{0}), 0x0Fu);
+  EXPECT_EQ(way_partition_mask(8, CoreId{1}), 0xF0u);
+  EXPECT_EQ(way_partition_mask(8, CoreId{2}), 0x0Fu);
+  EXPECT_EQ(way_partition_mask(4, CoreId{3}), 0x0Cu);
+  EXPECT_THROW(way_partition_mask(3, CoreId{0}), CheckFailure);
+}
+
+TEST(Fill, RandomFillAdmitsAtTheConfiguredRate) {
+  const Geometry g = test_geometry();
+  PolicyConfig config;
+  config.fill = "random";
+  config.fill_probability = 0.25;
+  const auto policy = make_fill_policy(config, g);
+  EXPECT_EQ(policy->allowed_ways(CoreId{0}), kAllWays);
+
+  Rng rng(99);
+  int admitted = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (policy->admits(CoreId{0}, rng)) ++admitted;
+  const double rate = static_cast<double>(admitted) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Fill, DefaultPoliciesNeverTouchTheRng) {
+  const Geometry g = test_geometry();
+  const auto all = make_fill_policy(PolicyConfig{}, g);
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(all->admits(CoreId{1}, a));
+  EXPECT_EQ(a.next_u64(), b.next_u64());  // stream untouched
+}
+
+TEST(Registry, UnknownNamesThrowWithRegisteredAlternatives) {
+  const Geometry g = test_geometry();
+  PolicyConfig bad_indexing;
+  bad_indexing.indexing = "quantum";
+  EXPECT_THROW(make_indexing_policy(bad_indexing, g), CheckFailure);
+  PolicyConfig bad_fill;
+  bad_fill.fill = "quantum";
+  EXPECT_THROW(make_fill_policy(bad_fill, g), CheckFailure);
+  EXPECT_THROW(replacement_from_name("quantum"), CheckFailure);
+}
+
+TEST(Registry, BuiltinsAreListedSorted) {
+  const auto indexing = indexing_policy_names();
+  EXPECT_TRUE(std::is_sorted(indexing.begin(), indexing.end()));
+  for (const char* name : {"keyed", "modulo", "skewed"})
+    EXPECT_TRUE(is_indexing_policy(name)) << name;
+
+  const auto fill = fill_policy_names();
+  EXPECT_TRUE(std::is_sorted(fill.begin(), fill.end()));
+  for (const char* name : {"all", "partition", "random"})
+    EXPECT_TRUE(is_fill_policy(name)) << name;
+
+  for (const char* name : {"lru", "nru", "random", "tree-plru"})
+    EXPECT_TRUE(is_replacement_policy(name)) << name;
+}
+
+TEST(Registry, CustomPolicyIsConstructibleByName) {
+  // The extension point the registry exists for: a test-local indexing
+  // policy becomes sweepable the moment it is registered.
+  class Reversed : public IndexingPolicy {
+   public:
+    explicit Reversed(std::uint64_t sets) : sets_(sets) {}
+    std::string_view name() const override { return "reversed"; }
+    std::uint64_t set_of(std::uint64_t line, std::uint32_t) const override {
+      return sets_ - 1 - (line % sets_);
+    }
+
+   private:
+    std::uint64_t sets_;
+  };
+  register_indexing_policy(
+      "reversed", [](const PolicyConfig&, const Geometry& g) {
+        return std::make_unique<Reversed>(g.sets());
+      });
+  PolicyConfig config;
+  config.indexing = "reversed";
+  const Geometry g = test_geometry();
+  const auto policy = make_indexing_policy(config, g);
+  EXPECT_EQ(policy->set_of(0, 0), g.sets() - 1);
+  EXPECT_TRUE(is_indexing_policy("reversed"));
+}
+
+TEST(Cache, SkewedCacheStillFindsItsResidents) {
+  const Geometry g = test_geometry();
+  PolicyConfig config;
+  config.indexing = "skewed";
+  SetAssocCache cache(g, config, Rng(11));
+  for (std::uint64_t line = 0; line < 200; ++line)
+    cache.access(addr_of_line(g, line));
+  int resident = 0;
+  for (std::uint64_t line = 0; line < 200; ++line)
+    if (cache.contains(addr_of_line(g, line))) ++resident;
+  // 200 lines in a 1024-line cache: conflict evictions are possible but
+  // most lines must remain findable at their per-way-group sets.
+  EXPECT_GT(resident, 150);
+  EXPECT_EQ(cache.stats().misses, 200u);
+}
+
+TEST(Cache, PartitionFillKeepsCoresInTheirHalves) {
+  const Geometry g = test_geometry();
+  PolicyConfig config;
+  config.fill = "partition";
+  SetAssocCache cache(g, config, Rng(5));
+  // Core 0 floods one set: occupancy saturates at the low half.
+  for (int i = 0; i < 32; ++i)
+    cache.fill(addr_of_line(g, i * g.sets()), kAllWays, CoreId{0});
+  EXPECT_EQ(cache.occupancy(0), g.ways / 2);
+  // Core 1 fills the other half of the same set.
+  for (int i = 100; i < 104; ++i)
+    cache.fill(addr_of_line(g, i * g.sets()), kAllWays, CoreId{1});
+  EXPECT_EQ(cache.occupancy(0), g.ways);
+}
+
+}  // namespace
+}  // namespace meecc::cache

@@ -145,8 +145,8 @@ class TreeGeometryProperty
 INSTANTIATE_TEST_SUITE_P(EpcSizes, TreeGeometryProperty,
                          ::testing::Values(4ull << 20, 8ull << 20,
                                            32ull << 20),
-                         [](const auto& info) {
-                           return std::to_string(info.param >> 20) + "MB";
+                         [](const auto& param_info) {
+                           return std::to_string(param_info.param >> 20) + "MB";
                          });
 
 TEST_P(TreeGeometryProperty, EveryChunkHasAConsistentVerificationPath) {
