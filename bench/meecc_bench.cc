@@ -26,6 +26,7 @@
 #include "cache/policy.h"
 #include "cache/replacement.h"
 #include "common/table.h"
+#include "perf_suite.h"
 #include "obs/trace.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
@@ -60,8 +61,31 @@ int usage(std::FILE* out) {
       "      --trace-sample N      keep every Nth trace event (default 1)\n"
       "      --artifacts           print per-trial charts/tables even for "
       "sweeps\n"
-      "      --quiet               no per-trial progress on stderr\n");
+      "      --quiet               no per-trial progress on stderr\n"
+      "  perf [options]            host hot-path timing suite\n"
+      "      --out PATH            JSON report (default BENCH_hotpath.json,\n"
+      "                            '-' = stdout)\n"
+      "      --check               fail unless ttable AES is >= 2x faster\n"
+      "                            than the reference backend\n");
   return out == stdout ? 0 : 2;
+}
+
+int cmd_perf(const std::vector<std::string>& args) {
+  std::string out_path = "BENCH_hotpath.json";
+  bool check = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size())
+        throw runtime::ParamError("--out needs an argument");
+      out_path = args[++i];
+    } else if (args[i] == "--check") {
+      check = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", args[i].c_str());
+      return usage(stderr);
+    }
+  }
+  return bench::run_perf_suite(out_path, check);
 }
 
 int cmd_list() {
@@ -288,6 +312,7 @@ int main(int argc, char** argv) {
       if (args.size() < 2) return usage(stderr);
       return cmd_run(args[1], {args.begin() + 2, args.end()});
     }
+    if (args[0] == "perf") return cmd_perf({args.begin() + 1, args.end()});
     std::fprintf(stderr, "unknown command '%s'\n", args[0].c_str());
     return usage(stderr);
   } catch (const std::exception& e) {

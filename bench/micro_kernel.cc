@@ -3,39 +3,50 @@
 // thousands of MEE walks).
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "cache/set_assoc_cache.h"
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
+#include "crypto/aes_backend.h"
 #include "crypto/line_cipher.h"
 #include "crypto/mac.h"
+#include "crypto/multilinear_mac.h"
 #include "mee/engine.h"
 #include "mem/address_map.h"
 #include "mem/physical_memory.h"
+#include "sim/des.h"
 
 namespace {
 
 using namespace meecc;
 
-void BM_Aes128EncryptBlock(benchmark::State& state) {
-  const crypto::Aes128 aes(crypto::Key128{1, 2, 3, 4});
+// Registered once per runnable backend from main() (the set depends on the
+// host CPU): BM_AesEncryptBlock/reference, /ttable, /aesni.
+void BM_AesEncryptBlock(benchmark::State& state, const std::string& backend) {
+  const auto aes = crypto::make_aes_backend(backend, crypto::Key128{1, 2, 3, 4});
   crypto::Block block{};
   for (auto _ : state) {
-    block = aes.encrypt(block);
+    block = aes->encrypt(block);
     benchmark::DoNotOptimize(block);
   }
 }
-BENCHMARK(BM_Aes128EncryptBlock);
 
+// Arg(0): fresh nonce each iteration (keystream cache misses).
+// Arg(1): fixed nonce (keystream cache hits — the AES disappears).
 void BM_LineEncrypt(benchmark::State& state) {
   const crypto::LineCipher cipher(crypto::Key128{5, 6, 7, 8});
+  const bool hot = state.range(0) != 0;
   crypto::LineData line{};
   std::uint64_t version = 0;
   for (auto _ : state) {
-    line = cipher.encrypt(line, 0x1000, ++version);
+    line = cipher.encrypt(line, 0x1000, hot ? 1 : ++version);
     benchmark::DoNotOptimize(line);
   }
 }
-BENCHMARK(BM_LineEncrypt);
+BENCHMARK(BM_LineEncrypt)->Arg(0)->Arg(1);
 
 void BM_MacTag(benchmark::State& state) {
   const crypto::MacFunction mac(crypto::Key128{9, 10, 11, 12});
@@ -46,6 +57,18 @@ void BM_MacTag(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MacTag);
+
+// Same cold/hot split for the multilinear MAC's (address, version) pad.
+void BM_MultilinearTag(benchmark::State& state) {
+  const crypto::MultilinearMac mac(crypto::Key128{9, 10, 11, 12});
+  const bool hot = state.range(0) != 0;
+  crypto::LineData line{};
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac.tag(0x40, hot ? 1 : ++version, line));
+  }
+}
+BENCHMARK(BM_MultilinearTag)->Arg(0)->Arg(1);
 
 void BM_CacheAccess(benchmark::State& state) {
   cache::SetAssocCache cache(cache::mee_cache_geometry(),
@@ -88,6 +111,72 @@ void BM_MeeColdWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_MeeColdWalk)->Arg(0)->Arg(1);
 
+sim::Process bench_ticker(sim::Scheduler& scheduler, std::uint64_t events) {
+  for (std::uint64_t i = 0; i < events; ++i)
+    co_await sim::WakeAt{scheduler, scheduler.now() + 1};
+}
+
+sim::Process bench_one_shot(sim::Scheduler& scheduler) {
+  co_await sim::WakeAt{scheduler, scheduler.now() + 1};
+}
+
+// Per-event dispatch cost of a single long-lived agent.
+void BM_SchedulerDispatch(benchmark::State& state) {
+  const std::uint64_t events = 4096;
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    scheduler.spawn(bench_ticker(scheduler, events));
+    scheduler.run_to_completion();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SchedulerDispatch);
+
+// Spawn-to-reap lifecycle cost: many short-lived agents. With the old
+// owned_-scanning dispatch this was quadratic in the agent count.
+void BM_SchedulerChurn(benchmark::State& state) {
+  const auto agents = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    for (std::uint64_t i = 0; i < agents; ++i)
+      scheduler.spawn(bench_one_shot(scheduler));
+    scheduler.run_to_completion();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(agents));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(256)->Arg(4096);
+
+// End-to-end: the full quickstart covert-channel scenario.
+void BM_QuickstartEndToEnd(benchmark::State& state) {
+  std::uint64_t walks = 0;
+  for (auto _ : state) {
+    channel::TestBed bed(channel::default_testbed_config(1));
+    const auto payload = channel::alternating_bits(8);
+    const auto result =
+        channel::run_covert_channel(bed, channel::ChannelConfig{}, payload);
+    benchmark::DoNotOptimize(result.monitor_found);
+    const auto stats = bed.system().mee().stats();
+    walks += stats.reads + stats.writes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(walks));
+  state.SetLabel("items = MEE walks");
+}
+BENCHMARK(BM_QuickstartEndToEnd)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const std::string& name : crypto::aes_backend_names()) {
+    if (name == crypto::kAutoBackend || !crypto::aes_backend_available(name))
+      continue;
+    benchmark::RegisterBenchmark(("BM_AesEncryptBlock/" + name).c_str(),
+                                 BM_AesEncryptBlock, name);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

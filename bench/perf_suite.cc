@@ -1,0 +1,258 @@
+#include "perf_suite.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
+#include "common/rng.h"
+#include "crypto/aes_backend.h"
+#include "crypto/line_cipher.h"
+#include "crypto/multilinear_mac.h"
+#include "mee/engine.h"
+#include "mem/address_map.h"
+#include "mem/physical_memory.h"
+#include "sim/des.h"
+
+namespace meecc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Compiler barrier so timed results are not dead-code-eliminated.
+template <typename T>
+inline void keep(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+/// Times `run(iters)` (which must perform `iters` operations), growing
+/// `iters` until the wall time passes `min_seconds`, and returns ns per
+/// operation. Monotonic clock, single measurement at the final size — the
+/// suite tracks order-of-magnitude regressions, not microseconds.
+double ns_per_op(const std::function<void(std::uint64_t)>& run,
+                 double min_seconds = 0.05, std::uint64_t start_iters = 64) {
+  std::uint64_t iters = start_iters;
+  for (;;) {
+    const auto start = Clock::now();
+    run(iters);
+    const double sec =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (sec >= min_seconds) return sec * 1e9 / static_cast<double>(iters);
+    iters = sec <= 1e-9
+                ? iters * 32
+                : static_cast<std::uint64_t>(static_cast<double>(iters) *
+                                             min_seconds * 1.4 / sec) +
+                      1;
+  }
+}
+
+sim::Process ticker(sim::Scheduler& scheduler, std::uint64_t events) {
+  for (std::uint64_t i = 0; i < events; ++i)
+    co_await sim::WakeAt{scheduler, scheduler.now() + 1};
+}
+
+sim::Process one_shot(sim::Scheduler& scheduler) {
+  co_await sim::WakeAt{scheduler, scheduler.now() + 1};
+}
+
+crypto::Key128 bench_key() {
+  return crypto::Key128{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+}
+
+struct QuickstartResult {
+  std::uint64_t walks = 0;
+  double wall_seconds = 0.0;
+  double walks_per_sec = 0.0;
+  double bits_per_sec = 0.0;
+};
+
+/// End-to-end: the quickstart covert-channel scenario (eviction-set build +
+/// transmission), using the default "auto" backend and pad cache — the
+/// configuration experiments actually run under.
+QuickstartResult run_quickstart() {
+  channel::TestBed bed(channel::default_testbed_config(1));
+  const auto payload = channel::alternating_bits(16);
+  const auto start = Clock::now();
+  const auto result =
+      channel::run_covert_channel(bed, channel::ChannelConfig{}, payload);
+  QuickstartResult out;
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  const auto stats = bed.system().mee().stats();
+  out.walks = stats.reads + stats.writes;
+  out.walks_per_sec = static_cast<double>(out.walks) / out.wall_seconds;
+  out.bits_per_sec =
+      static_cast<double>(result.received.size()) / out.wall_seconds;
+  keep(result.monitor_found);
+  return out;
+}
+
+void write_json(std::ostream& os,
+                const std::vector<std::pair<std::string, double>>& kernels,
+                const std::vector<std::pair<std::string, double>>& speedups,
+                const QuickstartResult& quickstart, bool checked,
+                bool check_passed) {
+  os << "{\n  \"schema\": \"meecc.bench.hotpath.v1\",\n  \"kernels_ns_per_op\": {";
+  bool first = true;
+  for (const auto& [name, ns] : kernels) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << ns;
+    first = false;
+  }
+  os << "\n  },\n  \"speedup\": {";
+  first = true;
+  for (const auto& [name, ratio] : speedups) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << ratio;
+    first = false;
+  }
+  os << "\n  },\n  \"quickstart\": {\n"
+     << "    \"walks\": " << quickstart.walks << ",\n"
+     << "    \"wall_seconds\": " << quickstart.wall_seconds << ",\n"
+     << "    \"walks_per_sec\": " << quickstart.walks_per_sec << ",\n"
+     << "    \"bits_per_sec\": " << quickstart.bits_per_sec << "\n  }";
+  if (checked)
+    os << ",\n  \"check\": {\n    \"ttable_speedup_min\": 2.0,\n"
+       << "    \"passed\": " << (check_passed ? "true" : "false") << "\n  }";
+  os << "\n}\n";
+}
+
+}  // namespace
+
+int run_perf_suite(const std::string& out_path, bool check) {
+  std::vector<std::pair<std::string, double>> kernels;
+  const auto record = [&](const std::string& name, double ns) {
+    kernels.emplace_back(name, ns);
+    std::fprintf(stderr, "  %-28s %12.1f ns/op\n", name.c_str(), ns);
+  };
+
+  // --- AES block, one entry per backend this CPU can run ------------------
+  double reference_ns = 0.0, ttable_ns = 0.0;
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const std::string& name : crypto::aes_backend_names()) {
+    if (name == crypto::kAutoBackend || !crypto::aes_backend_available(name))
+      continue;
+    const auto aes = crypto::make_aes_backend(name, bench_key());
+    const double ns = ns_per_op([&](std::uint64_t iters) {
+      crypto::Block block{};
+      for (std::uint64_t i = 0; i < iters; ++i) block = aes->encrypt(block);
+      keep(block);
+    });
+    record("aes_block." + name, ns);
+    if (name == "reference") reference_ns = ns;
+    if (name == "ttable") ttable_ns = ns;
+    if (name != "reference" && reference_ns > 0.0)
+      speedups.emplace_back("aes_block." + name + "_vs_reference",
+                            reference_ns / ns);
+  }
+
+  // --- line encrypt: keystream cache cold (fresh nonce) vs hot ------------
+  {
+    const crypto::LineCipher cipher(bench_key());
+    record("line_encrypt.cold", ns_per_op([&](std::uint64_t iters) {
+             crypto::LineData line{};
+             for (std::uint64_t i = 0; i < iters; ++i)
+               line = cipher.encrypt(line, 0x1000, i + 1);
+             keep(line);
+           }));
+    record("line_encrypt.hot", ns_per_op([&](std::uint64_t iters) {
+             crypto::LineData line{};
+             for (std::uint64_t i = 0; i < iters; ++i)
+               line = cipher.encrypt(line, 0x1000, 1);
+             keep(line);
+           }));
+  }
+
+  // --- multilinear MAC tag: pad cache cold vs hot -------------------------
+  {
+    const crypto::MultilinearMac mac(bench_key());
+    record("mac_tag.cold", ns_per_op([&](std::uint64_t iters) {
+             const crypto::LineData line{};
+             std::uint64_t acc = 0;
+             for (std::uint64_t i = 0; i < iters; ++i)
+               acc ^= mac.tag(0x40, i + 1, line);
+             keep(acc);
+           }));
+    record("mac_tag.hot", ns_per_op([&](std::uint64_t iters) {
+             const crypto::LineData line{};
+             std::uint64_t acc = 0;
+             for (std::uint64_t i = 0; i < iters; ++i)
+               acc ^= mac.tag(0x40, 1, line);
+             keep(acc);
+           }));
+  }
+
+  // --- MEE tree walk: cold (full walk to root) vs versions hit ------------
+  {
+    const mem::AddressMap map(
+        mem::AddressMapConfig{.general_size = 1 << 20, .epc_size = 4 << 20});
+    mem::PhysicalMemory memory;
+    mee::MeeEngine engine(map, memory, mee::MeeConfig{}, Rng(1));
+    const PhysAddr addr = map.protected_data().base;
+    record("mee_walk.cold", ns_per_op(
+                                [&](std::uint64_t iters) {
+                                  for (std::uint64_t i = 0; i < iters; ++i) {
+                                    engine.mutable_cache().flush_all();
+                                    keep(engine.read_line(CoreId{0}, addr));
+                                  }
+                                },
+                                /*min_seconds=*/0.05, /*start_iters=*/16));
+    engine.read_line(CoreId{0}, addr);  // warm
+    record("mee_walk.hot", ns_per_op([&](std::uint64_t iters) {
+             for (std::uint64_t i = 0; i < iters; ++i)
+               keep(engine.read_line(CoreId{0}, addr));
+           }));
+  }
+
+  // --- scheduler: per-event dispatch and spawn/complete churn -------------
+  record("scheduler.dispatch", ns_per_op([](std::uint64_t iters) {
+           sim::Scheduler scheduler;
+           scheduler.spawn(ticker(scheduler, iters));
+           scheduler.run_to_completion();
+         }));
+  record("scheduler.churn", ns_per_op([](std::uint64_t iters) {
+           sim::Scheduler scheduler;
+           for (std::uint64_t i = 0; i < iters; ++i)
+             scheduler.spawn(one_shot(scheduler));
+           scheduler.run_to_completion();
+         }));
+
+  // --- end to end ---------------------------------------------------------
+  std::fprintf(stderr, "  quickstart end-to-end...\n");
+  const QuickstartResult quickstart = run_quickstart();
+  std::fprintf(stderr, "  %-28s %12.0f walks/sec (%llu walks in %.2fs)\n",
+               "quickstart.e2e", quickstart.walks_per_sec,
+               static_cast<unsigned long long>(quickstart.walks),
+               quickstart.wall_seconds);
+
+  bool check_passed = true;
+  if (check) {
+    const double speedup =
+        ttable_ns > 0.0 && reference_ns > 0.0 ? reference_ns / ttable_ns : 0.0;
+    check_passed = speedup >= 2.0;
+    std::fprintf(stderr, "check: ttable %.1fx reference (needs >= 2.0x): %s\n",
+                 speedup, check_passed ? "ok" : "FAIL");
+  }
+
+  std::ostringstream json;
+  write_json(json, kernels, speedups, quickstart, check, check_passed);
+  if (out_path == "-") {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return check_passed ? 0 : 1;
+}
+
+}  // namespace meecc::bench

@@ -1,0 +1,20 @@
+// The `meecc_bench perf` subcommand: a dependency-free (no google-benchmark)
+// hot-path timing suite that emits BENCH_hotpath.json — the tracked perf
+// baseline CI compares against. Kernels cover every layer the covert-channel
+// experiments stress: raw AES blocks per backend, line encryption and MAC
+// tagging with the keystream/pad cache cold and hot, MEE tree walks,
+// scheduler dispatch, and the end-to-end quickstart scenario (walks/sec).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace meecc::bench {
+
+/// Runs the suite. `out_path` receives the JSON report ("-" = stdout);
+/// `check` additionally enforces the tracked expectations (ttable at least
+/// 2x faster than reference AES) and makes the exit code nonzero when they
+/// fail. Returns a process exit code.
+int run_perf_suite(const std::string& out_path, bool check);
+
+}  // namespace meecc::bench

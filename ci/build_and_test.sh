@@ -9,11 +9,15 @@
 # diff, counters JSONL); build trees also leave obs_artifacts/ dirs behind.
 set -euo pipefail
 
-# Usage: build_and_test.sh [all|hardened]
+# Usage: build_and_test.sh [all|hardened|perf]
 #   all       (default) plain + sanitized builds, full suite, determinism smoke
 #   hardened  warnings-hardened configuration only (-Wall -Wextra -Wshadow
 #             -Werror); runs as its own CI job so shadowing regressions fail
 #             without holding up the main matrix
+#   perf      Release build; runs the crypto/scheduler micro-kernels and
+#             `meecc_bench perf --check` (fails if the ttable AES backend is
+#             not at least 2x the reference), leaving BENCH_hotpath.json in
+#             $ROOT/ci-artifacts for upload
 STAGE="${1:-all}"
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,8 +50,23 @@ if [ "$STAGE" = "hardened" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_WERROR=ON -DMEECC_HARDENED=ON
   echo "CI OK (hardened)"
   exit 0
+elif [ "$STAGE" = "perf" ]; then
+  echo "=== perf smoke (Release hot-path timings) ==="
+  DIR="$ROOT/build-ci-perf"
+  cmake -B "$DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DMEECC_WERROR=ON
+  cmake --build "$DIR" -j "$JOBS" --target meecc_bench micro_kernel
+  # Micro-kernels (crypto + scheduler): a quick pass so obviously broken
+  # kernels fail before the tracked suite runs.
+  "$DIR/bench/micro_kernel" \
+    --benchmark_filter='BM_(AesEncryptBlock|LineEncrypt|MultilinearTag|SchedulerDispatch|SchedulerChurn)' \
+    --benchmark_min_time=0.05
+  # The tracked suite: BENCH_hotpath.json is the uploadable baseline;
+  # --check enforces ttable >= 2x reference AES.
+  "$DIR/bench/meecc_bench" perf --out "$ARTIFACTS/BENCH_hotpath.json" --check
+  echo "CI OK (perf)"
+  exit 0
 elif [ "$STAGE" != "all" ]; then
-  echo "unknown stage '$STAGE' (expected: all, hardened)" >&2
+  echo "unknown stage '$STAGE' (expected: all, hardened, perf)" >&2
   exit 2
 fi
 

@@ -59,15 +59,18 @@ HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr, Cycles now) {
 
   if (l2.lookup(line)) {
     l2_counters_.hits.inc();
-    l1.fill(line);
+    // Every fill below a missed level uses fill_after_miss: the lookup
+    // above just proved the line absent and nothing touched that cache in
+    // between, so the residency re-probe inside fill() would be wasted.
+    l1.fill_after_miss(line);
     return {HitLevel::kL2, config_.l2_latency};
   }
   l2_counters_.misses.inc();
 
   if (llc_->lookup(line)) {
     llc_counters_.hits.inc();
-    l2.fill(line);
-    l1.fill(line);
+    l2.fill_after_miss(line);
+    l1.fill_after_miss(line);
     return {HitLevel::kLlc, config_.llc_latency};
   }
   llc_counters_.misses.inc();
@@ -75,7 +78,7 @@ HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr, Cycles now) {
   // Miss everywhere: fill inclusive, honoring back-invalidation. The LLC
   // fill carries the requesting core so a partitioned/random fill policy on
   // the shared level can tell tenants apart.
-  if (const auto evicted = llc_->fill(line, kAllWays, core)) {
+  if (const auto evicted = llc_->fill_after_miss(line, kAllWays, core)) {
     llc_evictions_.inc();
     if (hub_ != nullptr && hub_->tracing())
       hub_->trace({.cycle = now,
@@ -86,8 +89,11 @@ HierarchyResult Hierarchy::access(CoreId core, PhysAddr addr, Cycles now) {
                    .outcome = "LLC"});
     back_invalidate(*evicted);
   }
-  l2.fill(line);
-  l1.fill(line);
+  // Still safe after the LLC fill: back_invalidate only removed the evicted
+  // victim, which cannot be `line` (it was absent when the victim was
+  // picked), so `line` remains missing from L2/L1 here.
+  l2.fill_after_miss(line);
+  l1.fill_after_miss(line);
   return {HitLevel::kMemory, config_.llc_latency};
 }
 

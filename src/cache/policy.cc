@@ -42,6 +42,7 @@ class ModuloIndexing final : public IndexingPolicy {
   std::uint64_t set_of(std::uint64_t line, std::uint32_t) const override {
     return line & mask_;
   }
+  std::optional<std::uint64_t> modulo_mask() const override { return mask_; }
 
  private:
   std::uint64_t mask_;
@@ -102,6 +103,7 @@ class SkewedIndexing final : public IndexingPolicy {
 class AllWaysFill final : public FillPolicy {
  public:
   std::string_view name() const override { return "all"; }
+  bool passthrough() const override { return true; }
 };
 
 /// Way partitioning by requesting core (CATalyst-style, §5.5): even cores

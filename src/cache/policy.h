@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -71,6 +72,13 @@ class IndexingPolicy {
   /// its own set and uses random victim selection, as real skewed caches do).
   virtual bool way_dependent() const { return false; }
 
+  /// If set_of reduces to `line & mask` for every way (the classic modulo
+  /// design), returns that mask so the cache's per-access paths can skip the
+  /// virtual dispatch entirely. Queried again after every rekey().
+  virtual std::optional<std::uint64_t> modulo_mask() const {
+    return std::nullopt;
+  }
+
   /// Installs a fresh permutation key (CEASER-style rekey). The caller is
   /// responsible for flushing residents mapped under the old key. No-op for
   /// keyless designs.
@@ -98,6 +106,11 @@ class FillPolicy {
     (void)rng;
     return true;
   }
+
+  /// True when the policy admits every miss and allows every way for every
+  /// requester (the default "all" policy). Lets the cache's fill path skip
+  /// both virtual calls per miss.
+  virtual bool passthrough() const { return false; }
 };
 
 /// The way-partition mask the "partition" fill policy hands out: even cores

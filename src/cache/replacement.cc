@@ -86,64 +86,55 @@ class TreePlruPolicy final : public ReplacementPolicy {
  public:
   explicit TreePlruPolicy(std::uint32_t ways) : ways_(ways) {
     MEECC_CHECK(std::has_single_bit(ways));
-    bits_.assign(ways_ - 1, false);
+    depth_ = static_cast<std::uint32_t>(std::countr_zero(ways_));
+    bits_.assign(ways_ - 1, 0);
   }
+
+  // With a power-of-two way count the classic midpoint recursion is exactly
+  // a walk down the bits of `way`, most significant first: at depth d the
+  // branch taken is bit (depth_ - 1 - d), so the lo/hi interval arithmetic
+  // collapses to shifts on the touch/victim paths that run on every access.
 
   void touch(std::uint32_t way) override {
     MEECC_CHECK(way < ways_);
     // Walk from the root to the leaf, pointing every node AWAY from `way`.
     std::uint32_t node = 0;
-    std::uint32_t lo = 0;
-    std::uint32_t hi = ways_;
-    while (hi - lo > 1) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      const bool went_right = way >= mid;
-      bits_[node] = !went_right;  // next victim search goes the other way
-      node = 2 * node + 1 + (went_right ? 1 : 0);
-      if (went_right)
-        lo = mid;
-      else
-        hi = mid;
+    for (std::uint32_t d = depth_; d-- > 0;) {
+      const std::uint32_t went_right = (way >> d) & 1;
+      bits_[node] =
+          static_cast<std::uint8_t>(1 - went_right);  // search the other way
+      node = 2 * node + 1 + went_right;
     }
   }
 
   std::uint32_t victim() override {
     std::uint32_t node = 0;
-    std::uint32_t lo = 0;
-    std::uint32_t hi = ways_;
-    while (hi - lo > 1) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      const bool go_right = bits_[node];
-      node = 2 * node + 1 + (go_right ? 1 : 0);
-      if (go_right)
-        lo = mid;
-      else
-        hi = mid;
+    std::uint32_t way = 0;
+    for (std::uint32_t d = depth_; d-- > 0;) {
+      const std::uint32_t go_right = bits_[node];
+      way = (way << 1) | go_right;
+      node = 2 * node + 1 + go_right;
     }
-    return lo;
+    return way;
   }
 
   void invalidate(std::uint32_t way) override {
     MEECC_CHECK(way < ways_);
     // Point the tree AT the invalidated way so it is refilled first.
     std::uint32_t node = 0;
-    std::uint32_t lo = 0;
-    std::uint32_t hi = ways_;
-    while (hi - lo > 1) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      const bool go_right = way >= mid;
-      bits_[node] = go_right;
-      node = 2 * node + 1 + (go_right ? 1 : 0);
-      if (go_right)
-        lo = mid;
-      else
-        hi = mid;
+    for (std::uint32_t d = depth_; d-- > 0;) {
+      const std::uint32_t go_right = (way >> d) & 1;
+      bits_[node] = static_cast<std::uint8_t>(go_right);
+      node = 2 * node + 1 + go_right;
     }
   }
 
  private:
   std::uint32_t ways_;
-  std::vector<bool> bits_;
+  std::uint32_t depth_;  // log2(ways)
+  /// One byte per tree node: vector<bool>'s bit proxies cost real time on
+  /// the touch/victim paths, which run on every cache access.
+  std::vector<std::uint8_t> bits_;
 };
 
 /// Not-recently-used: one reference bit per way; victims are picked from the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
 #include "common/check.h"
 
@@ -15,14 +16,82 @@ SetAssocCache::SetAssocCache(const Geometry& geometry,
   fill_ = make_fill_policy(config, geometry_);
   const auto replacement = replacement_from_name(config.replacement);
   const auto sets = geometry_.sets();
-  lines_.resize(sets * geometry_.ways);
+  lines_.assign(sets * geometry_.ways, kInvalidLine);
   set_evictions_.assign(sets, 0);
-  policy_.reserve(sets);
+  flat_plru_ = replacement == ReplacementKind::kTreePlru;
+  if (flat_plru_) {
+    MEECC_CHECK(std::has_single_bit(geometry_.ways));
+    plru_depth_ = static_cast<std::uint32_t>(std::countr_zero(geometry_.ways));
+    plru_bits_.assign(sets * (geometry_.ways - 1), 0);
+  } else {
+    policy_.reserve(sets);
+  }
   // Fork order is load-bearing: one fork per set first (exactly the legacy
   // stream), then the leftover parent state seeds the cache-level rng.
-  for (std::uint64_t s = 0; s < sets; ++s)
-    policy_.push_back(make_policy(replacement, geometry_.ways, rng.fork()));
+  // Tree-PLRU never consumes its fork, but the forks must still be drawn so
+  // the parent stream stays byte-identical to the policy-object layout.
+  for (std::uint64_t s = 0; s < sets; ++s) {
+    Rng set_rng = rng.fork();
+    if (!flat_plru_)
+      policy_.push_back(
+          make_policy(replacement, geometry_.ways, std::move(set_rng)));
+  }
   rng_ = std::move(rng);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+      static_cast<std::uint64_t>(geometry_.line_size)));
+  fill_passthrough_ = fill_->passthrough();
+  refresh_indexing_shortcuts();
+}
+
+void SetAssocCache::policy_touch(std::uint64_t set, std::uint32_t way) {
+  if (!flat_plru_) {
+    policy_[set]->touch(way);
+    return;
+  }
+  // Walk from the root to the leaf, pointing every node AWAY from `way`
+  // (same update as replacement.cc's TreePlruPolicy::touch).
+  std::uint8_t* bits = plru_bits_.data() + set * (geometry_.ways - 1);
+  std::uint32_t node = 0;
+  for (std::uint32_t d = plru_depth_; d-- > 0;) {
+    const std::uint32_t went_right = (way >> d) & 1;
+    bits[node] = static_cast<std::uint8_t>(1 - went_right);
+    node = 2 * node + 1 + went_right;
+  }
+}
+
+std::uint32_t SetAssocCache::policy_victim(std::uint64_t set) {
+  if (!flat_plru_) return policy_[set]->victim();
+  const std::uint8_t* bits = plru_bits_.data() + set * (geometry_.ways - 1);
+  std::uint32_t node = 0;
+  std::uint32_t way = 0;
+  for (std::uint32_t d = plru_depth_; d-- > 0;) {
+    const std::uint32_t go_right = bits[node];
+    way = (way << 1) | go_right;
+    node = 2 * node + 1 + go_right;
+  }
+  return way;
+}
+
+void SetAssocCache::policy_invalidate(std::uint64_t set, std::uint32_t way) {
+  if (!flat_plru_) {
+    policy_[set]->invalidate(way);
+    return;
+  }
+  // Point the tree AT the invalidated way so it is refilled first.
+  std::uint8_t* bits = plru_bits_.data() + set * (geometry_.ways - 1);
+  std::uint32_t node = 0;
+  for (std::uint32_t d = plru_depth_; d-- > 0;) {
+    const std::uint32_t go_right = (way >> d) & 1;
+    bits[node] = static_cast<std::uint8_t>(go_right);
+    node = 2 * node + 1 + go_right;
+  }
+}
+
+void SetAssocCache::refresh_indexing_shortcuts() {
+  way_dependent_ = indexing_->way_dependent();
+  const auto mask = indexing_->modulo_mask();
+  direct_modulo_ = mask.has_value();
+  direct_mask_ = mask.value_or(0);
 }
 
 SetAssocCache::SetAssocCache(const Geometry& geometry,
@@ -32,46 +101,59 @@ SetAssocCache::SetAssocCache(const Geometry& geometry,
           PolicyConfig{.replacement = std::string(to_string(replacement))},
           std::move(rng)) {}
 
-SetAssocCache::LineState& SetAssocCache::line_at(std::uint64_t set,
-                                                 std::uint32_t way) {
+std::uint64_t& SetAssocCache::line_at(std::uint64_t set, std::uint32_t way) {
   return lines_[set * geometry_.ways + way];
 }
 
-const SetAssocCache::LineState& SetAssocCache::line_at(
-    std::uint64_t set, std::uint32_t way) const {
+std::uint64_t SetAssocCache::line_at(std::uint64_t set,
+                                     std::uint32_t way) const {
   return lines_[set * geometry_.ways + way];
 }
 
 std::optional<SetAssocCache::Slot> SetAssocCache::find_slot(
     std::uint64_t line) const {
-  const bool way_dependent = indexing_->way_dependent();
-  const auto set0 = indexing_->set_of(line, 0);
+  if (!way_dependent_) {
+    // Way-independent indexing probes a single contiguous row of ways.
+    const auto set =
+        direct_modulo_ ? (line & direct_mask_) : indexing_->set_of(line, 0);
+    const std::uint64_t* row = lines_.data() + set * geometry_.ways;
+    // Branchless mask scan: reading every way unconditionally lets the
+    // compiler vectorize the compares, and misses — the common case in a
+    // clflush+probe workload — have to scan the whole row anyway. At most
+    // one way can match (residents are unique per set), so the mask
+    // identifies the hit way directly.
+    const std::uint32_t ways = geometry_.ways;
+    std::uint64_t match = 0;
+    for (std::uint32_t w = 0; w < ways; ++w)
+      match |= static_cast<std::uint64_t>(row[w] == line) << w;
+    if (match == 0) return std::nullopt;
+    return Slot{set, static_cast<std::uint32_t>(std::countr_zero(match))};
+  }
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    const auto set = way_dependent ? indexing_->set_of(line, w) : set0;
-    const auto& state = line_at(set, w);
-    if (state.valid && state.line == line) return Slot{set, w};
+    const auto set = indexing_->set_of(line, w);
+    if (line_at(set, w) == line) return Slot{set, w};
   }
   return std::nullopt;
 }
 
 bool SetAssocCache::contains(PhysAddr addr) const {
-  return find_slot(addr.raw / geometry_.line_size).has_value();
+  return find_slot(line_index_of(addr)).has_value();
 }
 
 bool SetAssocCache::lookup(PhysAddr addr) {
-  const auto slot = find_slot(addr.raw / geometry_.line_size);
+  const auto slot = find_slot(line_index_of(addr));
   if (!slot) {
     ++stats_.misses;
     return false;
   }
   ++stats_.hits;
-  policy_[slot->set]->touch(slot->way);
+  policy_touch(slot->set, slot->way);
   return true;
 }
 
 SetAssocCache::Slot SetAssocCache::pick_victim(std::uint64_t line,
                                                WayMask allowed) {
-  if (indexing_->way_dependent()) {
+  if (way_dependent_) {
     // Skewed indexing: candidate victims live in different sets per way, so
     // no single per-set replacement state spans them. Prefer an invalid
     // allowed slot, else evict a uniformly random allowed way — the standard
@@ -79,7 +161,7 @@ SetAssocCache::Slot SetAssocCache::pick_victim(std::uint64_t line,
     for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
       if (!(allowed & (WayMask{1} << w))) continue;
       const auto set = indexing_->set_of(line, w);
-      if (!line_at(set, w).valid) return Slot{set, w};
+      if (line_at(set, w) == kInvalidLine) return Slot{set, w};
     }
     std::array<std::uint32_t, 64> candidates{};
     std::uint32_t n = 0;
@@ -89,25 +171,25 @@ SetAssocCache::Slot SetAssocCache::pick_victim(std::uint64_t line,
     return Slot{indexing_->set_of(line, w), w};
   }
 
-  const auto set = indexing_->set_of(line, 0);
+  const auto set =
+      direct_modulo_ ? (line & direct_mask_) : indexing_->set_of(line, 0);
 
   // Prefer an invalid allowed way.
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
     if (!(allowed & (WayMask{1} << w))) continue;
-    if (!line_at(set, w).valid) return Slot{set, w};
+    if (line_at(set, w) == kInvalidLine) return Slot{set, w};
   }
 
   // Ask the policy, skipping disallowed ways by re-touching them so the
   // policy walks elsewhere. Bounded retries keep this terminating even for
   // degenerate masks; fall back to the lowest allowed way.
-  auto& policy = *policy_[set];
   std::optional<std::uint32_t> chosen;
   for (int attempt = 0; attempt < 32 && !chosen; ++attempt) {
-    const auto v = policy.victim();
+    const auto v = policy_victim(set);
     if (allowed & (WayMask{1} << v)) {
       chosen = v;
     } else {
-      policy.touch(v);
+      policy_touch(set, v);
     }
   }
   if (!chosen) {
@@ -123,32 +205,46 @@ SetAssocCache::Slot SetAssocCache::pick_victim(std::uint64_t line,
 
 std::optional<PhysAddr> SetAssocCache::fill(PhysAddr addr, WayMask allowed,
                                             CoreId requester) {
-  allowed &= fill_->allowed_ways(requester);
-  MEECC_CHECK_MSG(allowed != 0, "fill with empty way mask");
-  const auto line = addr.raw / geometry_.line_size;
+  return fill_impl(addr, allowed, requester, /*check_resident=*/true);
+}
 
-  if (const auto slot = find_slot(line)) {
-    policy_[slot->set]->touch(slot->way);  // already resident: refresh
-    return std::nullopt;
+std::optional<PhysAddr> SetAssocCache::fill_after_miss(PhysAddr addr,
+                                                       WayMask allowed,
+                                                       CoreId requester) {
+  return fill_impl(addr, allowed, requester, /*check_resident=*/false);
+}
+
+std::optional<PhysAddr> SetAssocCache::fill_impl(PhysAddr addr, WayMask allowed,
+                                                 CoreId requester,
+                                                 bool check_resident) {
+  if (!fill_passthrough_) allowed &= fill_->allowed_ways(requester);
+  MEECC_CHECK_MSG(allowed != 0, "fill with empty way mask");
+  const auto line = line_index_of(addr);
+
+  if (check_resident) {
+    if (const auto slot = find_slot(line)) {
+      policy_touch(slot->set, slot->way);  // already resident: refresh
+      return std::nullopt;
+    }
   }
 
   // A stochastic fill policy may decline the miss: nothing installed,
   // nothing evicted. Deterministic policies never consume rng_ here.
-  if (!fill_->admits(requester, rng_)) return std::nullopt;
+  if (!fill_passthrough_ && !fill_->admits(requester, rng_))
+    return std::nullopt;
 
   const auto victim = pick_victim(line, allowed);
   auto& victim_line = line_at(victim.set, victim.way);
   std::optional<PhysAddr> evicted;
-  if (victim_line.valid) {
+  if (victim_line != kInvalidLine) {
     // Exactly one eviction per displaced VALID line: a slot freed by
     // invalidate() (or picked while still empty) must not count.
     ++stats_.evictions;
     ++set_evictions_[victim.set];
-    evicted = PhysAddr{victim_line.line * geometry_.line_size};
+    evicted = PhysAddr{victim_line * geometry_.line_size};
   }
-  victim_line.valid = true;
-  victim_line.line = line;
-  policy_[victim.set]->touch(victim.way);
+  victim_line = line;
+  policy_touch(victim.set, victim.way);
   return evicted;
 }
 
@@ -159,10 +255,10 @@ bool SetAssocCache::access(PhysAddr addr, WayMask allowed, CoreId requester) {
 }
 
 bool SetAssocCache::invalidate(PhysAddr addr) {
-  const auto slot = find_slot(addr.raw / geometry_.line_size);
+  const auto slot = find_slot(line_index_of(addr));
   if (!slot) return false;
-  line_at(slot->set, slot->way).valid = false;
-  policy_[slot->set]->invalidate(slot->way);
+  line_at(slot->set, slot->way) = kInvalidLine;
+  policy_invalidate(slot->set, slot->way);
   ++stats_.invalidations;
   return true;
 }
@@ -170,9 +266,9 @@ bool SetAssocCache::invalidate(PhysAddr addr) {
 void SetAssocCache::flush_all() {
   for (std::uint64_t s = 0; s < geometry_.sets(); ++s) {
     for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-      if (line_at(s, w).valid) {
-        line_at(s, w).valid = false;
-        policy_[s]->invalidate(w);
+      if (line_at(s, w) != kInvalidLine) {
+        line_at(s, w) = kInvalidLine;
+        policy_invalidate(s, w);
         ++stats_.invalidations;
       }
     }
@@ -182,6 +278,7 @@ void SetAssocCache::flush_all() {
 void SetAssocCache::rekey() {
   flush_all();
   indexing_->rekey(rng_.next_u64());
+  refresh_indexing_shortcuts();
 }
 
 void SetAssocCache::reset_stats() {
@@ -196,7 +293,7 @@ std::uint32_t SetAssocCache::occupancy(std::uint64_t set) const {
   MEECC_CHECK(set < geometry_.sets());
   std::uint32_t n = 0;
   for (std::uint32_t w = 0; w < geometry_.ways; ++w)
-    if (line_at(set, w).valid) ++n;
+    if (line_at(set, w) != kInvalidLine) ++n;
   return n;
 }
 
@@ -204,8 +301,9 @@ std::vector<PhysAddr> SetAssocCache::resident_lines(std::uint64_t set) const {
   MEECC_CHECK(set < geometry_.sets());
   std::vector<PhysAddr> result;
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    const auto& line = line_at(set, w);
-    if (line.valid) result.push_back(PhysAddr{line.line * geometry_.line_size});
+    const auto line = line_at(set, w);
+    if (line != kInvalidLine)
+      result.push_back(PhysAddr{line * geometry_.line_size});
   }
   return result;
 }

@@ -61,6 +61,14 @@ class SetAssocCache {
   std::optional<PhysAddr> fill(PhysAddr addr, WayMask allowed = kAllWays,
                                CoreId requester = CoreId{0});
 
+  /// fill() for a line the caller just observed missing (its lookup()
+  /// returned false and nothing touched the cache since): skips the
+  /// redundant residency probe that fill() runs before picking a victim.
+  /// Behavior is otherwise identical to fill().
+  std::optional<PhysAddr> fill_after_miss(PhysAddr addr,
+                                          WayMask allowed = kAllWays,
+                                          CoreId requester = CoreId{0});
+
   /// Convenience: lookup, then fill on miss. Returns true on hit.
   bool access(PhysAddr addr, WayMask allowed = kAllWays,
               CoreId requester = CoreId{0});
@@ -95,30 +103,68 @@ class SetAssocCache {
   }
 
  private:
-  struct LineState {
-    bool valid = false;
-    /// Full line index (addr / line_size). Stored whole — a truncated tag
-    /// cannot reconstruct the evicted address under a keyed permutation.
-    std::uint64_t line = 0;
-  };
+  /// Empty-slot sentinel. Slots store the full line index (addr /
+  /// line_size) whole — a truncated tag cannot reconstruct the evicted
+  /// address under a keyed permutation — with this value marking an invalid
+  /// way. All-ones is unreachable as a real index for any line size > 1,
+  /// and folding validity into the index keeps each set's ways in one
+  /// compact 8-byte-per-way row for the find_slot scan.
+  static constexpr std::uint64_t kInvalidLine = ~std::uint64_t{0};
 
   struct Slot {
     std::uint64_t set = 0;
     std::uint32_t way = 0;
   };
 
-  LineState& line_at(std::uint64_t set, std::uint32_t way);
-  const LineState& line_at(std::uint64_t set, std::uint32_t way) const;
+  std::uint64_t& line_at(std::uint64_t set, std::uint32_t way);
+  std::uint64_t line_at(std::uint64_t set, std::uint32_t way) const;
   std::optional<Slot> find_slot(std::uint64_t line) const;
   Slot pick_victim(std::uint64_t line, WayMask allowed);
+  std::optional<PhysAddr> fill_impl(PhysAddr addr, WayMask allowed,
+                                    CoreId requester, bool check_resident);
+
+  /// Replacement-state entry points. Tree-PLRU — the default policy on
+  /// every modelled cache — is stored flat in plru_bits_ and handled
+  /// inline; other policies dispatch to the per-set policy_ objects.
+  void policy_touch(std::uint64_t set, std::uint32_t way);
+  std::uint32_t policy_victim(std::uint64_t set);
+  void policy_invalidate(std::uint64_t set, std::uint32_t way);
+
+  /// Re-derives the devirtualized shortcuts (way_dependent_, direct set
+  /// mask) from indexing_. Called at construction and after rekey().
+  void refresh_indexing_shortcuts();
+  std::uint64_t line_index_of(PhysAddr addr) const {
+    return addr.raw >> line_shift_;
+  }
 
   Geometry geometry_;
   std::unique_ptr<IndexingPolicy> indexing_;
   std::unique_ptr<FillPolicy> fill_;
-  std::vector<LineState> lines_;  // sets * ways, row-major by set
-  std::vector<std::unique_ptr<ReplacementPolicy>> policy_;  // one per set
+  std::vector<std::uint64_t> lines_;  // sets * ways, row-major by set
+  /// One policy object per set — empty when flat_plru_ is set (the
+  /// per-set RNG forks are still drawn so sibling streams don't shift).
+  std::vector<std::unique_ptr<ReplacementPolicy>> policy_;
+  /// Tree-PLRU direction bits, (ways - 1) per set, when flat_plru_. Same
+  /// update rules as replacement.cc's TreePlruPolicy, kept contiguous so
+  /// the per-access touch does not chase a unique_ptr and a vtable.
+  std::vector<std::uint8_t> plru_bits_;
+  bool flat_plru_ = false;
+  std::uint32_t plru_depth_ = 0;  // log2(ways)
   std::vector<std::uint64_t> set_evictions_;
   CacheStats stats_;
+  /// log2(line_size); validate() guarantees a power-of-two line size, so
+  /// every addr→line-index division on the access paths becomes a shift.
+  std::uint32_t line_shift_ = 0;
+  bool way_dependent_ = false;
+  /// When the indexing policy is the classic modulo design its set mapping
+  /// is inlined as `line & direct_mask_`, skipping the virtual call on
+  /// every lookup/fill/invalidate (the dominant cost in covert-channel
+  /// runs, which are one long clflush+probe loop).
+  bool direct_modulo_ = false;
+  std::uint64_t direct_mask_ = 0;
+  /// True for the default "all" fill policy: every miss admitted, all ways
+  /// allowed, so fill() skips both of its per-miss virtual calls.
+  bool fill_passthrough_ = false;
   /// Forked last in the constructor; the default (modulo / all-ways) stack
   /// never draws from it, keeping legacy streams byte-identical.
   Rng rng_;

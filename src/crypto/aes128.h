@@ -2,9 +2,10 @@
 //
 // The MEE model uses real cryptography — protected lines in simulated DRAM
 // are genuinely ciphertext and tree MACs genuinely verify — so tampering
-// tests exercise the same code paths a hardware MEE would. Performance is
-// irrelevant here (the simulator models latency separately), so this is a
-// straightforward table-free byte implementation.
+// tests exercise the same code paths a hardware MEE would. This is the
+// straightforward table-free byte implementation: the "reference" entry in
+// the backend registry (crypto/aes_backend.h) and the oracle the fast
+// backends (ttable, aesni) are validated against.
 #pragma once
 
 #include <array>

@@ -1,0 +1,61 @@
+// Runtime-dispatched AES-128 block backends.
+//
+// The simulator's wall-clock is dominated by AES: every MEE walk pays real
+// AES-128-CTR line crypto plus MAC pads, and figure experiments simulate
+// hundreds of thousands of walks. All backends compute the identical
+// FIPS-197 function — which one runs changes only how fast an experiment
+// finishes, never its results (the timing MODEL is charged in simulated
+// cycles, not host time).
+//
+// Registered backends:
+//   reference  byte-wise FIPS-197 (crypto/aes128.h) — the validation oracle
+//   ttable     precomputed 32-bit T-tables, ~1 lookup+xor per byte per round
+//   aesni      hardware AES round instructions; registered only on CPUs
+//              whose CPUID reports the AES extension
+//   auto       alias: aesni when available, else ttable
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/aes128.h"
+
+namespace meecc::crypto {
+
+inline constexpr std::string_view kAutoBackend = "auto";
+
+/// One AES-128 implementation holding its expanded key schedule.
+class AesBackend {
+ public:
+  virtual ~AesBackend() = default;
+
+  /// The concrete backend name ("reference", "ttable", "aesni").
+  virtual std::string_view name() const = 0;
+
+  virtual Block encrypt(const Block& plaintext) const = 0;
+  virtual Block decrypt(const Block& ciphertext) const = 0;
+};
+
+/// Every selectable backend name, in registration order, "auto" last.
+/// Includes names the current CPU cannot run (see aes_backend_available).
+std::vector<std::string> aes_backend_names();
+
+/// True when `name` is a registered backend or "auto".
+bool is_aes_backend(std::string_view name);
+
+/// True when the named backend can run on this CPU ("auto" always can).
+bool aes_backend_available(std::string_view name);
+
+/// The concrete backend "auto" resolves to on this machine; non-auto names
+/// pass through unchanged.
+std::string_view resolve_aes_backend(std::string_view name);
+
+/// Keyed instance of the named backend (resolving "auto"). Throws
+/// std::invalid_argument for unknown names and CheckFailure for backends
+/// the CPU cannot run.
+std::unique_ptr<const AesBackend> make_aes_backend(std::string_view name,
+                                                   const Key128& key);
+
+}  // namespace meecc::crypto

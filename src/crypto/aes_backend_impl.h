@@ -1,0 +1,17 @@
+// Internal: per-translation-unit backend factories consumed by the registry
+// in aes_backend.cc. Not installed API — include crypto/aes_backend.h.
+#pragma once
+
+#include <memory>
+
+#include "crypto/aes_backend.h"
+
+namespace meecc::crypto::detail {
+
+std::unique_ptr<const AesBackend> make_ttable_backend(const Key128& key);
+
+/// Null when the CPU lacks the AES extension (see aesni_supported).
+std::unique_ptr<const AesBackend> make_aesni_backend(const Key128& key);
+bool aesni_supported();
+
+}  // namespace meecc::crypto::detail

@@ -1,0 +1,190 @@
+// T-table AES-128 backend: the classic software optimization that folds
+// SubBytes + ShiftRows + MixColumns into four 1 KB lookup tables of 32-bit
+// words, one table lookup and xor per state byte per round. The tables are
+// generated at compile time from the shared S-box (aes_internals.h), so
+// they cannot drift from the reference implementation.
+//
+// Word convention: a state column is one big-endian 32-bit word,
+// w = (row0 << 24) | (row1 << 16) | (row2 << 8) | row3.
+#include <cstring>
+
+#include "crypto/aes_backend_impl.h"
+#include "crypto/aes_internals.h"
+
+namespace meecc::crypto::detail {
+namespace {
+
+constexpr std::uint32_t rotr8(std::uint32_t x) {
+  return (x >> 8) | (x << 24);
+}
+
+struct Tables {
+  std::array<std::uint32_t, 256> t0{}, t1{}, t2{}, t3{};
+};
+
+// Te0[x] packs column {02,01,01,03}·S[x]: the MixColumns contribution of a
+// row-0 input byte; Te1..Te3 are byte rotations for rows 1..3.
+constexpr Tables make_encrypt_tables() {
+  Tables t;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) | s3;
+    t.t0[i] = w;
+    t.t1[i] = rotr8(w);
+    t.t2[i] = rotr8(rotr8(w));
+    t.t3[i] = rotr8(rotr8(rotr8(w)));
+  }
+  return t;
+}
+
+// Td0[x] packs {0e,09,0d,0b}·InvS[x]: the InvMixColumns contribution of a
+// row-0 byte in the equivalent inverse cipher.
+constexpr Tables make_decrypt_tables() {
+  Tables t;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kInvSbox[i];
+    const std::uint32_t w = (static_cast<std::uint32_t>(gmul(s, 0x0e)) << 24) |
+                            (static_cast<std::uint32_t>(gmul(s, 0x09)) << 16) |
+                            (static_cast<std::uint32_t>(gmul(s, 0x0d)) << 8) |
+                            gmul(s, 0x0b);
+    t.t0[i] = w;
+    t.t1[i] = rotr8(w);
+    t.t2[i] = rotr8(rotr8(w));
+    t.t3[i] = rotr8(rotr8(rotr8(w)));
+  }
+  return t;
+}
+
+constexpr Tables kTe = make_encrypt_tables();
+constexpr Tables kTd = make_decrypt_tables();
+
+std::uint32_t load_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+void store_be(std::uint8_t* p, std::uint32_t w) {
+  p[0] = static_cast<std::uint8_t>(w >> 24);
+  p[1] = static_cast<std::uint8_t>(w >> 16);
+  p[2] = static_cast<std::uint8_t>(w >> 8);
+  p[3] = static_cast<std::uint8_t>(w);
+}
+
+void inv_mix_columns_bytes(std::uint8_t* s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+    col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+    col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+    col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+  }
+}
+
+class TtableBackend final : public AesBackend {
+ public:
+  explicit TtableBackend(const Key128& key) {
+    const RoundKeys round_keys = expand_key(key);
+    for (int round = 0; round < 11; ++round)
+      for (int word = 0; word < 4; ++word)
+        ek_[4 * round + word] = load_be(&round_keys[round][4 * word]);
+
+    // Equivalent inverse cipher: decrypt rounds run in key-reverse order
+    // with InvMixColumns folded into the middle round keys.
+    RoundKeys inv = round_keys;
+    for (int round = 1; round <= 9; ++round)
+      inv_mix_columns_bytes(inv[round].data());
+    for (int round = 0; round < 11; ++round)
+      for (int word = 0; word < 4; ++word)
+        dk_[4 * round + word] = load_be(&inv[10 - round][4 * word]);
+  }
+
+  std::string_view name() const override { return "ttable"; }
+
+  Block encrypt(const Block& plaintext) const override {
+    std::uint32_t s0 = load_be(plaintext.data() + 0) ^ ek_[0];
+    std::uint32_t s1 = load_be(plaintext.data() + 4) ^ ek_[1];
+    std::uint32_t s2 = load_be(plaintext.data() + 8) ^ ek_[2];
+    std::uint32_t s3 = load_be(plaintext.data() + 12) ^ ek_[3];
+    for (int round = 1; round < 10; ++round) {
+      const std::uint32_t* rk = &ek_[4 * round];
+      const std::uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xff] ^
+                               kTe.t2[(s2 >> 8) & 0xff] ^ kTe.t3[s3 & 0xff] ^
+                               rk[0];
+      const std::uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xff] ^
+                               kTe.t2[(s3 >> 8) & 0xff] ^ kTe.t3[s0 & 0xff] ^
+                               rk[1];
+      const std::uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xff] ^
+                               kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^
+                               rk[2];
+      const std::uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xff] ^
+                               kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^
+                               rk[3];
+      s0 = t0, s1 = t1, s2 = t2, s3 = t3;
+    }
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    const std::uint32_t* rk = &ek_[40];
+    Block out;
+    store_be(out.data() + 0, final_word(kSbox, s0, s1, s2, s3) ^ rk[0]);
+    store_be(out.data() + 4, final_word(kSbox, s1, s2, s3, s0) ^ rk[1]);
+    store_be(out.data() + 8, final_word(kSbox, s2, s3, s0, s1) ^ rk[2]);
+    store_be(out.data() + 12, final_word(kSbox, s3, s0, s1, s2) ^ rk[3]);
+    return out;
+  }
+
+  Block decrypt(const Block& ciphertext) const override {
+    std::uint32_t s0 = load_be(ciphertext.data() + 0) ^ dk_[0];
+    std::uint32_t s1 = load_be(ciphertext.data() + 4) ^ dk_[1];
+    std::uint32_t s2 = load_be(ciphertext.data() + 8) ^ dk_[2];
+    std::uint32_t s3 = load_be(ciphertext.data() + 12) ^ dk_[3];
+    for (int round = 1; round < 10; ++round) {
+      const std::uint32_t* rk = &dk_[4 * round];
+      const std::uint32_t t0 = kTd.t0[s0 >> 24] ^ kTd.t1[(s3 >> 16) & 0xff] ^
+                               kTd.t2[(s2 >> 8) & 0xff] ^ kTd.t3[s1 & 0xff] ^
+                               rk[0];
+      const std::uint32_t t1 = kTd.t0[s1 >> 24] ^ kTd.t1[(s0 >> 16) & 0xff] ^
+                               kTd.t2[(s3 >> 8) & 0xff] ^ kTd.t3[s2 & 0xff] ^
+                               rk[1];
+      const std::uint32_t t2 = kTd.t0[s2 >> 24] ^ kTd.t1[(s1 >> 16) & 0xff] ^
+                               kTd.t2[(s0 >> 8) & 0xff] ^ kTd.t3[s3 & 0xff] ^
+                               rk[2];
+      const std::uint32_t t3 = kTd.t0[s3 >> 24] ^ kTd.t1[(s2 >> 16) & 0xff] ^
+                               kTd.t2[(s1 >> 8) & 0xff] ^ kTd.t3[s0 & 0xff] ^
+                               rk[3];
+      s0 = t0, s1 = t1, s2 = t2, s3 = t3;
+    }
+    const std::uint32_t* rk = &dk_[40];
+    Block out;
+    store_be(out.data() + 0, final_word(kInvSbox, s0, s3, s2, s1) ^ rk[0]);
+    store_be(out.data() + 4, final_word(kInvSbox, s1, s0, s3, s2) ^ rk[1]);
+    store_be(out.data() + 8, final_word(kInvSbox, s2, s1, s0, s3) ^ rk[2]);
+    store_be(out.data() + 12, final_word(kInvSbox, s3, s2, s1, s0) ^ rk[3]);
+    return out;
+  }
+
+ private:
+  static std::uint32_t final_word(const std::array<std::uint8_t, 256>& sbox,
+                                  std::uint32_t a, std::uint32_t b,
+                                  std::uint32_t c, std::uint32_t d) {
+    return (static_cast<std::uint32_t>(sbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(sbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(sbox[(c >> 8) & 0xff]) << 8) |
+           sbox[d & 0xff];
+  }
+
+  std::array<std::uint32_t, 44> ek_{};
+  std::array<std::uint32_t, 44> dk_{};
+};
+
+}  // namespace
+
+std::unique_ptr<const AesBackend> make_ttable_backend(const Key128& key) {
+  return std::make_unique<TtableBackend>(key);
+}
+
+}  // namespace meecc::crypto::detail

@@ -4,17 +4,18 @@
 
 namespace meecc::crypto {
 
-LineCipher::LineCipher(const Key128& key) : aes_(key) {}
+LineCipher::LineCipher(const Key128& key, std::string_view aes_backend)
+    : aes_(make_aes_backend(aes_backend, key)) {}
 
-LineData LineCipher::keystream(std::uint64_t address,
-                               std::uint64_t version) const {
+LineData LineCipher::compute_keystream(std::uint64_t address,
+                                       std::uint64_t version) const {
   LineData ks{};
   for (std::uint32_t block = 0; block < 4; ++block) {
     Block counter{};
     std::memcpy(counter.data(), &address, 8);
     std::uint64_t v = (version << 8) | block;  // version ‖ block index
     std::memcpy(counter.data() + 8, &v, 8);
-    const Block out = aes_.encrypt(counter);
+    const Block out = aes_->encrypt(counter);
     std::memcpy(ks.data() + 16 * block, out.data(), 16);
   }
   return ks;
@@ -22,9 +23,16 @@ LineData LineCipher::keystream(std::uint64_t address,
 
 LineData LineCipher::encrypt(const LineData& plaintext, std::uint64_t address,
                              std::uint64_t version) const {
-  const LineData ks = keystream(address, version);
+  const LineData* ks = cache_.find(address, version);
+  LineData fresh;
+  if (ks == nullptr) {
+    fresh = compute_keystream(address, version);
+    cache_.insert(address, version, fresh);
+    ks = &fresh;
+  }
   LineData out;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = plaintext[i] ^ ks[i];
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = plaintext[i] ^ (*ks)[i];
   return out;
 }
 

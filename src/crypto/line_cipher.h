@@ -4,12 +4,21 @@
 // same plaintext at the same address with a bumped version yields fresh
 // ciphertext (freshness), and moving ciphertext between addresses breaks
 // decryption (spatial binding).
+//
+// Hot path: the AES block function runs through a selectable backend
+// (crypto/aes_backend.h), and computed keystreams are cached by their
+// (address, version) nonce — repeated walks over the same hot lines (the
+// prime+probe common case) skip AES entirely. A version bump changes the
+// nonce, so the cache can never serve a stale keystream.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <string_view>
 
-#include "crypto/aes128.h"
+#include "crypto/aes_backend.h"
+#include "crypto/pad_cache.h"
 
 namespace meecc::crypto {
 
@@ -17,7 +26,8 @@ using LineData = std::array<std::uint8_t, 64>;
 
 class LineCipher {
  public:
-  explicit LineCipher(const Key128& key);
+  explicit LineCipher(const Key128& key,
+                      std::string_view aes_backend = kAutoBackend);
 
   /// Encrypts one 64 B line. `address` is the line's physical address,
   /// `version` the 56-bit freshness counter for the line.
@@ -28,10 +38,21 @@ class LineCipher {
   LineData decrypt(const LineData& ciphertext, std::uint64_t address,
                    std::uint64_t version) const;
 
- private:
-  LineData keystream(std::uint64_t address, std::uint64_t version) const;
+  /// The concrete AES backend in use ("auto" resolved at construction).
+  std::string_view backend_name() const { return aes_->name(); }
 
-  Aes128 aes_;
+  /// Keystream cache controls (on by default); see crypto/pad_cache.h.
+  void set_pad_cache_enabled(bool enabled) { cache_.set_enabled(enabled); }
+  void set_pad_counters(obs::Counter hit, obs::Counter miss) {
+    cache_.set_counters(hit, miss);
+  }
+
+ private:
+  LineData compute_keystream(std::uint64_t address,
+                             std::uint64_t version) const;
+
+  std::unique_ptr<const AesBackend> aes_;
+  mutable PadCache<LineData> cache_;
 };
 
 }  // namespace meecc::crypto

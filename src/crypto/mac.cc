@@ -6,7 +6,8 @@
 
 namespace meecc::crypto {
 
-MacFunction::MacFunction(const Key128& key) : aes_(key) {}
+MacFunction::MacFunction(const Key128& key, std::string_view aes_backend)
+    : aes_(make_aes_backend(aes_backend, key)) {}
 
 std::uint64_t MacFunction::tag(std::uint64_t address, std::uint64_t version,
                                std::span<const std::uint8_t> data) const {
@@ -15,10 +16,10 @@ std::uint64_t MacFunction::tag(std::uint64_t address, std::uint64_t version,
   // First block authenticates the context: address ‖ version.
   std::memcpy(state.data(), &address, 8);
   std::memcpy(state.data() + 8, &version, 8);
-  state = aes_.encrypt(state);
+  state = aes_->encrypt(state);
   for (std::size_t off = 0; off < data.size(); off += 16) {
     for (std::size_t i = 0; i < 16; ++i) state[i] ^= data[off + i];
-    state = aes_.encrypt(state);
+    state = aes_->encrypt(state);
   }
   std::uint64_t t = 0;
   std::memcpy(&t, state.data(), 8);

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string_view>
 
-#include "crypto/aes128.h"
+#include "crypto/aes_backend.h"
 
 namespace meecc::crypto {
 
@@ -19,7 +21,8 @@ inline constexpr std::uint64_t kMacMask = (1ULL << 56) - 1;
 
 class MacFunction {
  public:
-  explicit MacFunction(const Key128& key);
+  explicit MacFunction(const Key128& key,
+                       std::string_view aes_backend = kAutoBackend);
 
   /// 56-bit tag over (address, version, data). `data` length must be a
   /// multiple of 16 bytes (the MEE always authenticates whole lines).
@@ -31,7 +34,7 @@ class MacFunction {
               std::uint64_t expected_tag) const;
 
  private:
-  Aes128 aes_;
+  std::unique_ptr<const AesBackend> aes_;
 };
 
 }  // namespace meecc::crypto

@@ -13,8 +13,9 @@ bool MacScheme::verify(std::uint64_t address, std::uint64_t version,
   return tag(address, version, data) == (expected_tag & kMacMask);
 }
 
-MultilinearMac::MultilinearMac(const Key128& key, std::size_t max_data_bytes)
-    : aes_(key) {
+MultilinearMac::MultilinearMac(const Key128& key, std::size_t max_data_bytes,
+                               std::string_view aes_backend)
+    : aes_(make_aes_backend(aes_backend, key)) {
   MEECC_CHECK(max_data_bytes % 16 == 0 && max_data_bytes > 0);
   // Expand key words with AES-CTR over a fixed label: two 64-bit words per
   // encrypted block, one key word per 32-bit message word.
@@ -26,7 +27,7 @@ MultilinearMac::MultilinearMac(const Key128& key, std::size_t max_data_bytes)
     in[0] = 0x4b;  // 'K' — domain separation from the pad inputs
     std::memcpy(in.data() + 8, &counter, 8);
     ++counter;
-    const Block out = aes_.encrypt(in);
+    const Block out = aes_->encrypt(in);
     for (int half = 0; half < 2 && key_words_.size() < words; ++half) {
       std::uint64_t w = 0;
       std::memcpy(&w, out.data() + 8 * half, 8);
@@ -37,13 +38,16 @@ MultilinearMac::MultilinearMac(const Key128& key, std::size_t max_data_bytes)
 
 std::uint64_t MultilinearMac::pad(std::uint64_t address,
                                   std::uint64_t version) const {
+  if (const std::uint64_t* cached = pad_cache_.find(address, version))
+    return *cached;
   Block in{};
   in[0] = 0x50;  // 'P'
   std::memcpy(in.data() + 1, &address, 7);
   std::memcpy(in.data() + 8, &version, 8);
-  const Block out = aes_.encrypt(in);
+  const Block out = aes_->encrypt(in);
   std::uint64_t p = 0;
   std::memcpy(&p, out.data(), 8);
+  pad_cache_.insert(address, version, p);
   return p;
 }
 
@@ -70,7 +74,8 @@ namespace {
 /// Adapter presenting the CBC construction through the MacScheme interface.
 class CbcMacScheme final : public MacScheme {
  public:
-  explicit CbcMacScheme(const Key128& key) : mac_(key) {}
+  explicit CbcMacScheme(const Key128& key, std::string_view aes_backend)
+      : mac_(key, aes_backend) {}
   std::uint64_t tag(std::uint64_t address, std::uint64_t version,
                     std::span<const std::uint8_t> data) const override {
     return mac_.tag(address, version, data);
@@ -82,12 +87,14 @@ class CbcMacScheme final : public MacScheme {
 
 }  // namespace
 
-std::unique_ptr<MacScheme> make_mac_scheme(MacKind kind, const Key128& key) {
+std::unique_ptr<MacScheme> make_mac_scheme(MacKind kind, const Key128& key,
+                                           std::string_view aes_backend) {
   switch (kind) {
     case MacKind::kCbcMac:
-      return std::make_unique<CbcMacScheme>(key);
+      return std::make_unique<CbcMacScheme>(key, aes_backend);
     case MacKind::kMultilinear:
-      return std::make_unique<MultilinearMac>(key);
+      return std::make_unique<MultilinearMac>(key, /*max_data_bytes=*/64,
+                                              aes_backend);
   }
   MEECC_CHECK_MSG(false, "unknown MAC kind");
   return nullptr;

@@ -15,14 +15,20 @@
 // hash; the one-time pad per (address, version) hides it. The simulator uses
 // it interchangeably with the CBC-MAC (crypto/mac.h) via the MacScheme
 // interface.
+//
+// Hot path: the pad is the only AES in the tag, and it depends solely on
+// the nonce — so it is cached by (address, version) (crypto/pad_cache.h);
+// a version bump changes the nonce and naturally misses.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
-#include "crypto/aes128.h"
+#include "crypto/aes_backend.h"
+#include "crypto/pad_cache.h"
 
 namespace meecc::crypto {
 
@@ -39,6 +45,11 @@ class MacScheme {
   bool verify(std::uint64_t address, std::uint64_t version,
               std::span<const std::uint8_t> data,
               std::uint64_t expected_tag) const;
+
+  /// Pad-cache hooks; no-ops for schemes without a cacheable pad (CBC-MAC
+  /// feeds the data through AES, so there is nothing nonce-keyed to cache).
+  virtual void set_pad_cache_enabled(bool) {}
+  virtual void set_pad_counters(obs::Counter /*hit*/, obs::Counter /*miss*/) {}
 };
 
 enum class MacKind {
@@ -50,19 +61,30 @@ class MultilinearMac final : public MacScheme {
  public:
   /// `max_data_bytes` bounds the message length (key words are expanded
   /// once); the MEE authenticates single 64 B lines.
-  explicit MultilinearMac(const Key128& key, std::size_t max_data_bytes = 64);
+  explicit MultilinearMac(const Key128& key, std::size_t max_data_bytes = 64,
+                          std::string_view aes_backend = kAutoBackend);
 
   std::uint64_t tag(std::uint64_t address, std::uint64_t version,
                     std::span<const std::uint8_t> data) const override;
 
+  void set_pad_cache_enabled(bool enabled) override {
+    pad_cache_.set_enabled(enabled);
+  }
+  void set_pad_counters(obs::Counter hit, obs::Counter miss) override {
+    pad_cache_.set_counters(hit, miss);
+  }
+
  private:
   std::uint64_t pad(std::uint64_t address, std::uint64_t version) const;
 
-  Aes128 aes_;
+  std::unique_ptr<const AesBackend> aes_;
   std::vector<std::uint64_t> key_words_;  // one 64-bit word per 32-bit m_i
+  mutable PadCache<std::uint64_t> pad_cache_;
 };
 
 /// Factory used by the MEE engine.
-std::unique_ptr<MacScheme> make_mac_scheme(MacKind kind, const Key128& key);
+std::unique_ptr<MacScheme> make_mac_scheme(
+    MacKind kind, const Key128& key,
+    std::string_view aes_backend = kAutoBackend);
 
 }  // namespace meecc::crypto

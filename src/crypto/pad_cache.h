@@ -1,0 +1,96 @@
+// Direct-mapped (address, version) → pad cache for AES-CTR keystreams and
+// Carter–Wegman MAC pads.
+//
+// The MEE's per-line crypto is keyed by the compound nonce (address,
+// version): a prime+probe loop re-walks the same hot lines at unchanged
+// versions over and over, recomputing identical AES outputs each time.
+// Caching the pad by its nonce skips that AES entirely — and because the
+// version IS part of the key, a write's counter bump can never serve a
+// stale pad: the new (address, version) pair simply misses and refills.
+//
+// Direct-mapped with a fixed slot count: O(1) lookup, bounded memory, and
+// fully deterministic (no host-dependent eviction order), so cached and
+// uncached runs produce byte-identical simulation results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/counters.h"
+
+namespace meecc::crypto {
+
+template <typename Pad>
+class PadCache {
+ public:
+  static constexpr std::size_t kDefaultSlots = 4096;  // power of two
+
+  explicit PadCache(std::size_t slots = kDefaultSlots) : slots_(slots) {
+    MEECC_CHECK(slots != 0 && (slots & (slots - 1)) == 0);
+  }
+
+  bool enabled() const { return enabled_; }
+  /// Disabling also drops residents, so re-enabling starts cold.
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    entries_.clear();
+  }
+
+  /// Counter handles for hit/miss accounting (typically crypto.pad.hit and
+  /// crypto.pad.miss from the owning engine's registry). Several caches may
+  /// share one pair; increments add.
+  void set_counters(obs::Counter hit, obs::Counter miss) {
+    hits_ = hit;
+    misses_ = miss;
+  }
+
+  /// Resident pad for the nonce, or nullptr on a miss (counts either way).
+  /// The pointer is valid until the next insert.
+  const Pad* find(std::uint64_t address, std::uint64_t version) {
+    if (!enabled_) return nullptr;
+    if (entries_.empty()) entries_.resize(slots_);
+    Entry& entry = entries_[slot(address, version)];
+    if (entry.valid && entry.address == address && entry.version == version) {
+      hits_.inc();
+      return &entry.pad;
+    }
+    misses_.inc();
+    return nullptr;
+  }
+
+  /// Installs the pad for the nonce (no-op when disabled).
+  void insert(std::uint64_t address, std::uint64_t version, const Pad& pad) {
+    if (!enabled_) return;
+    if (entries_.empty()) entries_.resize(slots_);
+    Entry& entry = entries_[slot(address, version)];
+    entry.address = address;
+    entry.version = version;
+    entry.pad = pad;
+    entry.valid = true;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t address = 0;
+    std::uint64_t version = 0;
+    Pad pad{};
+    bool valid = false;
+  };
+
+  std::size_t slot(std::uint64_t address, std::uint64_t version) const {
+    // Fibonacci hash over the mixed nonce; line addresses share low zero
+    // bits, so mix before masking.
+    const std::uint64_t mixed =
+        (address ^ (version * 0x9e3779b97f4a7c15ull)) * 0xff51afd7ed558ccdull;
+    return static_cast<std::size_t>(mixed >> 32) & (slots_ - 1);
+  }
+
+  std::size_t slots_;
+  bool enabled_ = true;
+  std::vector<Entry> entries_;  // allocated lazily on first use
+  obs::Counter hits_;
+  obs::Counter misses_;
+};
+
+}  // namespace meecc::crypto

@@ -50,8 +50,9 @@ MeeEngine::MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
       config_(config),
       geometry_(map),
       cache_(config.cache_geometry, config.cache_policy, rng.fork()),
-      cipher_(config.data_key),
-      mac_(crypto::make_mac_scheme(config.mac_kind, config.mac_key)),
+      cipher_(config.data_key, config.aes_backend),
+      mac_(crypto::make_mac_scheme(config.mac_kind, config.mac_key,
+                                   config.aes_backend)),
       root_counters_(geometry_.root_entries(), 0),
       rng_(rng),
       hub_(hub) {
@@ -77,6 +78,14 @@ MeeEngine::MeeEngine(const mem::AddressMap& map, mem::PhysicalMemory& memory,
   wait_cycles_ = registry.counter("mee", "wait_cycles");
   rekeys_ = registry.counter("mee.cache", "rekeys");
   stop_counters_ = make_stop_counters(registry, "mee.stop");
+  // Keystream/pad cache: cipher and MAC share one hit/miss counter pair so
+  // crypto.pad.* reflects all nonce-keyed AES the engine avoided.
+  const auto pad_hit = registry.counter("crypto.pad", "hit");
+  const auto pad_miss = registry.counter("crypto.pad", "miss");
+  cipher_.set_pad_cache_enabled(config_.pad_cache);
+  cipher_.set_pad_counters(pad_hit, pad_miss);
+  mac_->set_pad_cache_enabled(config_.pad_cache);
+  mac_->set_pad_counters(pad_hit, pad_miss);
 }
 
 MeeStats MeeEngine::stats() const {
@@ -95,7 +104,7 @@ void MeeEngine::count_walk(CoreId core, const WalkResult& walk,
                            PhysAddr data_addr, Cycles now, bool is_write) {
   const auto level = static_cast<std::size_t>(walk.stop_level);
   stop_counters_[level].inc();
-  nodes_fetched_.inc(walk.fetched.size());
+  nodes_fetched_.inc(walk.fetched_count);
   if (walk.stop_level == Level::kVersions)
     versions_class_hits_.inc();
   else
@@ -114,7 +123,7 @@ void MeeEngine::count_walk(CoreId core, const WalkResult& walk,
                  .addr = data_addr.raw,
                  .kind = is_write ? "write_walk" : "walk",
                  .outcome = kStopNames[level],
-                 .value = static_cast<std::int64_t>(walk.fetched.size())});
+                 .value = static_cast<std::int64_t>(walk.fetched_count)});
 }
 
 void MeeEngine::maybe_rekey() {
@@ -135,16 +144,28 @@ std::uint64_t MeeEngine::parent_counter(Level level, std::uint64_t chunk) const 
     return root_counters_.at(geometry_.node_index(Level::kL2, chunk));
   }
   const auto parent_level = static_cast<Level>(static_cast<int>(level) + 1);
-  const TreeNode parent =
-      decode_node(memory_.read_line(geometry_.node_addr(parent_level, chunk)));
-  return parent.counters[geometry_.slot_in_parent(level, chunk)];
+  const mem::Line* parent =
+      memory_.find_line(geometry_.node_addr(parent_level, chunk));
+  if (parent == nullptr) return 0;  // never written: genesis, all counters 0
+  return decode_field56(*parent, geometry_.slot_in_parent(level, chunk));
 }
 
 void MeeEngine::verify_node(Level level, std::uint64_t chunk) {
   if (!config_.functional_crypto) return;
   const PhysAddr addr = geometry_.node_addr(level, chunk);
-  const TreeNode node = decode_node(memory_.read_line(addr));
+  const mem::Line* raw = memory_.find_line(addr);
   const std::uint64_t parent = parent_counter(level, chunk);
+  if (raw == nullptr) {
+    // Never-written node: reads as all zeros, i.e. genesis, without paying
+    // for a 64 B copy and a nine-field decode.
+    if (parent != 0) {
+      tampers_.inc();
+      throw TamperDetected(level, addr);
+    }
+    mac_node_verifies_.inc();
+    return;
+  }
+  const TreeNode node = decode_node(*raw);
   if (node.is_genesis()) {
     if (parent != 0) {
       tampers_.inc();
@@ -170,9 +191,9 @@ MeeEngine::WalkResult MeeEngine::walk_and_verify(CoreId core,
       result.stop_level = level;
       break;
     }
-    result.fetched.push_back(level);
+    result.fetched[result.fetched_count++] = level;
   }
-  if (result.fetched.size() == kDramLevels) result.stop_level = Level::kRoot;
+  if (result.fetched_count == kDramLevels) result.stop_level = Level::kRoot;
 
   // Verify top-down: each node's MAC key (the parent counter) is trusted by
   // the time we check it — either the parent was a cache hit / the root, or
@@ -180,15 +201,18 @@ MeeEngine::WalkResult MeeEngine::walk_and_verify(CoreId core,
   // lives in verify_node's throw sites: wrapping this loop in try/catch puts
   // an EH region on the cold-walk hot path and costs ~25% even when tracing
   // is compiled out.
-  for (auto it = result.fetched.rbegin(); it != result.fetched.rend(); ++it)
-    verify_node(*it, chunk);
+  for (std::uint32_t i = result.fetched_count; i-- > 0;)
+    verify_node(result.fetched[i], chunk);
 
   // Install the now-verified nodes, top-down so the versions line ends up
   // most recently used (it is re-checked on every subsequent access). The
   // fill policy (all / partition / random) decides which ways `core` may
-  // claim.
-  for (auto it = result.fetched.rbegin(); it != result.fetched.rend(); ++it)
-    cache_.fill(geometry_.node_addr(*it, chunk), cache::kAllWays, core);
+  // claim. Each node missed during the walk and the verify loop never
+  // touches the cache; the fills install distinct node addresses, so every
+  // address here is still absent and fill_after_miss applies.
+  for (std::uint32_t i = result.fetched_count; i-- > 0;)
+    cache_.fill_after_miss(geometry_.node_addr(result.fetched[i], chunk),
+                           cache::kAllWays, core);
 
   return result;
 }
@@ -237,20 +261,28 @@ MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
     tag_hits_.inc();
   } else {
     tag_misses_.inc();
-    cache_.fill(tag_addr, cache::kAllWays, core);
+    cache_.fill_after_miss(tag_addr, cache::kAllWays, core);
   }
 
   if (config_.functional_crypto) {
-    const TreeNode versions =
-        decode_node(memory_.read_line(geometry_.versions_line_addr(chunk)));
-    const std::uint64_t version = versions.counters[slot];
-    const mem::Line ciphertext = memory_.read_line(line_addr);
-    const TagLine tags = decode_tags(memory_.read_line(tag_addr));
-    const std::uint64_t expected_tag = tags.tags[slot];
+    // Zero-copy probes: a null line reads as all zeros, so a missing
+    // versions/tag/data line means version 0 / tag 0 / zero ciphertext —
+    // the genesis test below needs no copies and no full-node decodes.
+    const mem::Line* versions_raw =
+        memory_.find_line(geometry_.versions_line_addr(chunk));
+    const std::uint64_t version =
+        versions_raw != nullptr ? decode_field56(*versions_raw, slot) : 0;
+    const mem::Line* tags_raw = memory_.find_line(tag_addr);
+    const std::uint64_t expected_tag =
+        tags_raw != nullptr ? decode_field56(*tags_raw, slot) : 0;
+    const mem::Line* data_raw = memory_.find_line(line_addr);
 
-    if (version == 0 && expected_tag == 0 && line_is_zero(ciphertext)) {
+    if (version == 0 && expected_tag == 0 &&
+        (data_raw == nullptr || line_is_zero(*data_raw))) {
       if (out) out->fill(0);  // genesis: never written
     } else {
+      const mem::Line ciphertext =
+          data_raw != nullptr ? *data_raw : mem::Line{};
       mac_tag_verifies_.inc();
       if (!mac_->verify(line_addr.raw, version, ciphertext, expected_tag)) {
         tampers_.inc();
@@ -264,7 +296,7 @@ MeeAccessResult MeeEngine::read_line(CoreId core, PhysAddr data_addr,
 
   MeeAccessResult result;
   result.stop_level = walk.stop_level;
-  result.nodes_fetched = static_cast<std::uint32_t>(walk.fetched.size());
+  result.nodes_fetched = walk.fetched_count;
   result.extra_latency = walk_latency(result.nodes_fetched) +
                          occupy_engine(now, result.nodes_fetched);
   return result;
@@ -336,7 +368,7 @@ MeeAccessResult MeeEngine::write_line(CoreId core, PhysAddr data_addr,
 
   MeeAccessResult result;
   result.stop_level = walk.stop_level;
-  result.nodes_fetched = static_cast<std::uint32_t>(walk.fetched.size());
+  result.nodes_fetched = walk.fetched_count;
   result.extra_latency = walk_latency(result.nodes_fetched) +
                          config_.latency.write_update_extra +
                          occupy_engine(now, result.nodes_fetched);
@@ -346,9 +378,9 @@ MeeAccessResult MeeEngine::write_line(CoreId core, PhysAddr data_addr,
 std::uint64_t MeeEngine::version_counter(PhysAddr data_addr) const {
   const std::uint64_t chunk = geometry_.chunk_of(data_addr);
   const std::uint32_t slot = geometry_.line_in_chunk(data_addr);
-  const TreeNode versions =
-      decode_node(memory_.read_line(geometry_.versions_line_addr(chunk)));
-  return versions.counters[slot];
+  const mem::Line* versions =
+      memory_.find_line(geometry_.versions_line_addr(chunk));
+  return versions != nullptr ? decode_field56(*versions, slot) : 0;
 }
 
 }  // namespace meecc::mee

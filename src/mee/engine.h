@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cache/set_assoc_cache.h"
@@ -91,6 +92,14 @@ struct MeeConfig {
   /// MAC construction for tree nodes and PD_Tags. The multilinear scheme
   /// mirrors the real MEE's Carter-Wegman design (Gueron, 2016).
   crypto::MacKind mac_kind = crypto::MacKind::kMultilinear;
+  /// AES implementation for the line cipher and MACs ("reference",
+  /// "ttable", "aesni", or "auto" = fastest this CPU supports). Every
+  /// backend computes bit-identical AES, so traces never depend on it.
+  std::string aes_backend = std::string(crypto::kAutoBackend);
+  /// Cache AES keystreams/MAC pads by (address, version) — a pure host-side
+  /// speedup (coherent by construction: a version bump changes the key).
+  /// Hits/misses appear as crypto.pad.hit / crypto.pad.miss.
+  bool pad_cache = true;
   crypto::Key128 data_key{0x10, 0x01, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
                           0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
   crypto::Key128 mac_key{0x5a, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
@@ -155,7 +164,12 @@ class MeeEngine {
  private:
   struct WalkResult {
     StopLevel stop_level = Level::kRoot;
-    std::vector<Level> fetched;  // bottom-up order, versions first
+    /// Fetched levels in bottom-up order, versions first. Inline storage:
+    /// a walk touches at most kDramLevels nodes and runs millions of times
+    /// per experiment, so a heap-backed vector here is an allocation per
+    /// walk.
+    std::array<Level, kDramLevels> fetched{};
+    std::uint32_t fetched_count = 0;
   };
 
   WalkResult walk_and_verify(CoreId core, std::uint64_t chunk);

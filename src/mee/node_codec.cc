@@ -8,9 +8,12 @@
 namespace meecc::mee {
 namespace {
 
+// Loads 8 bytes and masks to 56 bits: one word load instead of the
+// byte-assembled 7-byte copy. Every caller points into a 64 B line at
+// offset 7*i (i <= 8), so the trailing extra byte is always in bounds.
 std::uint64_t load56(const std::uint8_t* p) {
   std::uint64_t v = 0;
-  std::memcpy(&v, p, 7);
+  std::memcpy(&v, p, 8);
   return v & kCounterMask;
 }
 
@@ -24,6 +27,11 @@ void store56(std::uint8_t* p, std::uint64_t v) {
 bool TreeNode::is_genesis() const {
   return mac == 0 && std::all_of(counters.begin(), counters.end(),
                                  [](std::uint64_t c) { return c == 0; });
+}
+
+std::uint64_t decode_field56(const mem::Line& line, std::uint32_t i) {
+  MEECC_CHECK(i <= kTreeArity);
+  return load56(line.data() + 7 * i);
 }
 
 TreeNode decode_node(const mem::Line& line) {

@@ -37,6 +37,11 @@ struct TagLine {
 TreeNode decode_node(const mem::Line& line);
 mem::Line encode_node(const TreeNode& node);
 
+/// Decodes just field `i` of a node or tag line: counter/tag slots 0..7, or
+/// 8 for a node's embedded MAC. The walk and peek paths use this to read a
+/// single counter without decoding the other eight fields.
+std::uint64_t decode_field56(const mem::Line& line, std::uint32_t i);
+
 TagLine decode_tags(const mem::Line& line);
 mem::Line encode_tags(const TagLine& tags);
 

@@ -12,6 +12,11 @@ Line PhysicalMemory::read_line(PhysAddr addr) const {
   return it->second;
 }
 
+const Line* PhysicalMemory::find_line(PhysAddr addr) const {
+  const auto it = lines_.find(addr.line_index());
+  return it == lines_.end() ? nullptr : &it->second;
+}
+
 void PhysicalMemory::write_line(PhysAddr addr, const Line& data) {
   lines_[addr.line_index()] = data;
 }

@@ -19,6 +19,11 @@ class PhysicalMemory {
   /// containing line is returned).
   Line read_line(PhysAddr addr) const;
 
+  /// Zero-copy probe: the resident line containing `addr`, or nullptr if it
+  /// was never written (i.e. read_line would return all zeros). The pointer
+  /// is invalidated by the next write_line/write_u64/write_bytes.
+  const Line* find_line(PhysAddr addr) const;
+
   /// Overwrites the 64 B line containing `addr`.
   void write_line(PhysAddr addr, const Line& data);
 

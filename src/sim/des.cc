@@ -9,6 +9,15 @@ Process::~Process() {
   if (handle_) handle_.destroy();
 }
 
+void Process::promise_type::FinalNotify::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  // Leaves the coroutine suspended at its final suspend point; the
+  // scheduler reclaims it (and surfaces any stored exception) right after
+  // the resume() that got us here returns.
+  if (Scheduler* scheduler = h.promise().scheduler)
+    scheduler->note_finished(h);
+}
+
 Scheduler::~Scheduler() {
   for (auto handle : owned_)
     if (handle) handle.destroy();
@@ -29,6 +38,8 @@ void Scheduler::spawn(Process process, Cycles start) {
   MEECC_CHECK(process.handle_);
   auto handle = process.handle_;
   process.handle_ = nullptr;  // ownership moves to the scheduler
+  handle.promise().scheduler = this;
+  handle.promise().owned_index = owned_.size();
   owned_.push_back(handle);
   spawned_.inc();
   enqueue(handle, start);
@@ -40,14 +51,22 @@ void Scheduler::enqueue(std::coroutine_handle<> handle, Cycles when) {
   queue_.push(Event{std::max(when, now_), seq_++, handle});
 }
 
-void Scheduler::raise_pending_agent_errors() {
-  for (auto handle : owned_) {
-    if (handle && handle.done()) {
-      if (auto ex = handle.promise().exception) {
-        handle.promise().exception = nullptr;
-        std::rethrow_exception(ex);
-      }
-    }
+void Scheduler::reap_finished() {
+  while (!finished_.empty()) {
+    const auto handle = finished_.back();
+    finished_.pop_back();
+    // Swap-remove from owned_; the displaced tail entry inherits the slot.
+    const std::size_t index = handle.promise().owned_index;
+    owned_[index] = owned_.back();
+    owned_[index].promise().owned_index = index;
+    owned_.pop_back();
+    const std::exception_ptr ex = handle.promise().exception;
+    handle.destroy();
+    // Rethrow from the dispatch in which the agent died, matching the old
+    // scan-based behaviour. Any other agents that finished in the same
+    // dispatch stay queued in finished_ (and in owned_) and are reclaimed
+    // on the next dispatch or at scheduler destruction.
+    if (ex) std::rethrow_exception(ex);
   }
 }
 
@@ -55,7 +74,7 @@ void Scheduler::dispatch(const Event& event) {
   now_ = event.when;
   dispatched_.inc();
   event.handle.resume();
-  raise_pending_agent_errors();
+  if (!finished_.empty()) reap_finished();
 }
 
 std::uint64_t Scheduler::run_until(Cycles until) {

@@ -41,11 +41,27 @@ struct PromiseBase {
 class [[nodiscard]] Process {
  public:
   struct promise_type : PromiseBase {
+    // Set by Scheduler::spawn so completion can be reported in O(1):
+    // `owned_index` is this coroutine's slot in the scheduler's owned list,
+    // kept current under swap-removal.
+    Scheduler* scheduler = nullptr;
+    std::size_t owned_index = 0;
+
+    /// final_suspend awaiter: tells the owning scheduler this agent just
+    /// finished (normally or with a stored exception), so dispatch never has
+    /// to scan for completed handles. unhandled_exception() runs before
+    /// final_suspend, so this single notification covers both outcomes.
+    struct FinalNotify {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() const noexcept {}
+    };
+
     Process get_return_object() {
       return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
     }
     std::suspend_always initial_suspend() noexcept { return {}; }
-    std::suspend_always final_suspend() noexcept { return {}; }
+    FinalNotify final_suspend() noexcept { return {}; }
     void return_void() {}
     void unhandled_exception() { exception = std::current_exception(); }
   };
@@ -195,7 +211,12 @@ class Scheduler {
   /// `hub` (borrowed; may be nullptr to detach). Called by sim::System.
   void set_hub(obs::Hub* hub);
 
+  /// Spawned agents still owned by the scheduler (finished ones are
+  /// reclaimed after the dispatch in which they complete).
+  std::size_t live_processes() const { return owned_.size(); }
+
  private:
+  friend struct Process::promise_type::FinalNotify;
   struct Event {
     Cycles when;
     std::uint64_t seq;
@@ -208,10 +229,22 @@ class Scheduler {
   };
 
   void dispatch(const Event& event);
-  void raise_pending_agent_errors();
+
+  /// Called from FinalNotify::await_suspend when a top-level agent reaches
+  /// its final suspend point.
+  void note_finished(std::coroutine_handle<Process::promise_type> handle) {
+    finished_.push_back(handle);
+  }
+
+  /// Destroys the agents recorded by note_finished: swap-removes each from
+  /// `owned_` (patching the displaced entry's owned_index), then rethrows
+  /// the first stored exception. O(finished) — independent of how many
+  /// agents were ever spawned.
+  void reap_finished();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<std::coroutine_handle<Process::promise_type>> owned_;
+  std::vector<std::coroutine_handle<Process::promise_type>> finished_;
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   obs::Counter spawned_;

@@ -13,11 +13,15 @@ System::System(const SystemConfig& config)
       hierarchy_(config.hierarchy, config.cores, rng_.fork(), &hub_),
       mee_(std::make_unique<mee::MeeEngine>(map_, memory_, config.mee,
                                             rng_.fork(), &hub_)),
+      peek_cipher_(config.mee.data_key, config.mee.aes_backend),
       epc_allocator_(map_, config.epc_placement, rng_.fork()),
       general_allocator_(map_) {
   MEECC_CHECK(config.cores > 0);
   MEECC_CHECK(config.clock_ghz > 0.0);
   scheduler_.set_hub(&hub_);
+  peek_cipher_.set_pad_cache_enabled(config.mee.pad_cache);
+  peek_cipher_.set_pad_counters(hub_.registry().counter("crypto.pad", "hit"),
+                                hub_.registry().counter("crypto.pad", "miss"));
   auto sys = hub_.registry().group("sys");
   reads_ = sys.counter("reads");
   writes_ = sys.counter("writes");
@@ -57,22 +61,22 @@ AccessResult System::do_read(CoreId core, CpuMode mode,
   if (hier.level != cache::HitLevel::kMemory) {
     // On-chip hit: served from the CPU hierarchy, the MEE never sees it
     // (that is why the attack needs clflush — paper §3 challenge 1).
-    result.data = memory_.read_line(paddr);
     if (map_.classify(paddr) == mem::RegionKind::kProtectedData &&
         mee_->config().functional_crypto) {
       // The hierarchy holds plaintext; model that by decrypting on the fly.
-      mem::Line plain;
       // Reading through the MEE here would disturb its cache; peek instead.
       const std::uint64_t version = mee_->version_counter(paddr);
       const auto chunk_line = paddr.line_base();
       if (version == 0) {
+        mem::Line plain;
         plain.fill(0);
         result.data = plain;
       } else {
-        crypto::LineCipher cipher(mee_->config().data_key);
-        result.data =
-            cipher.decrypt(memory_.read_line(paddr), chunk_line.raw, version);
+        result.data = peek_cipher_.decrypt(memory_.read_line(paddr),
+                                           chunk_line.raw, version);
       }
+    } else {
+      result.data = memory_.read_line(paddr);
     }
     if (hub_.tracing())
       hub_.trace({.cycle = now,

@@ -102,6 +102,10 @@ class System {
   mem::Dram dram_;
   cache::Hierarchy hierarchy_;
   std::unique_ptr<mee::MeeEngine> mee_;
+  /// Decrypts hierarchy-hit protected lines without disturbing the MEE
+  /// cache (do_read's "peek"). Persistent so the hot path never re-expands
+  /// the AES key schedule, and its keystream cache survives across reads.
+  crypto::LineCipher peek_cipher_;
   mem::EpcAllocator epc_allocator_;
   mem::GeneralAllocator general_allocator_;
   Scheduler scheduler_;

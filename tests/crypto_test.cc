@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
+#include "crypto/aes_backend.h"
 #include "crypto/line_cipher.h"
 #include "crypto/mac.h"
+#include "crypto/multilinear_mac.h"
+#include "obs/counters.h"
 
 namespace meecc::crypto {
 namespace {
@@ -155,6 +160,180 @@ TEST(Mac, RejectsNonBlockMultipleInput) {
   const MacFunction mac(test_key());
   std::array<std::uint8_t, 15> short_data{};
   EXPECT_THROW((void)mac.tag(1, 2, short_data), meecc::CheckFailure);
+}
+
+// ------------------------------------------------------- AES backends --
+
+/// Concrete (non-"auto") backends this CPU can run; always contains at
+/// least reference and ttable.
+std::vector<std::string> runnable_backends() {
+  std::vector<std::string> names;
+  for (const std::string& name : aes_backend_names())
+    if (name != kAutoBackend && aes_backend_available(name))
+      names.push_back(name);
+  return names;
+}
+
+class AesBackendSuite : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, AesBackendSuite,
+                         ::testing::ValuesIn(runnable_backends()),
+                         [](const auto& info) { return info.param; });
+
+// FIPS-197 Appendix B / C.1 known-answer vectors, per backend.
+TEST_P(AesBackendSuite, Fips197KnownAnswers) {
+  {
+    const auto aes = make_aes_backend(
+        GetParam(), hex_block("2b7e151628aed2a6abf7158809cf4f3c"));
+    EXPECT_EQ(aes->encrypt(hex_block("3243f6a8885a308d313198a2e0370734")),
+              hex_block("3925841d02dc09fbdc118597196a0b32"));
+  }
+  {
+    const auto aes = make_aes_backend(
+        GetParam(), hex_block("000102030405060708090a0b0c0d0e0f"));
+    EXPECT_EQ(aes->encrypt(hex_block("00112233445566778899aabbccddeeff")),
+              hex_block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    EXPECT_EQ(aes->decrypt(hex_block("69c4e0d86a7b0430d8cdb78070b4c55a")),
+              hex_block("00112233445566778899aabbccddeeff"));
+  }
+}
+
+TEST_P(AesBackendSuite, DecryptInvertsEncrypt) {
+  const auto aes = make_aes_backend(GetParam(), test_key());
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(aes->decrypt(aes->encrypt(pt)), pt);
+  }
+}
+
+TEST_P(AesBackendSuite, MatchesReferenceOnRandomBlocksAndKeys) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    Key128 key{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const Aes128 reference(key);
+    const auto aes = make_aes_backend(GetParam(), key);
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const Block ct = reference.encrypt(pt);
+    EXPECT_EQ(aes->encrypt(pt), ct);
+    EXPECT_EQ(aes->decrypt(ct), pt);
+  }
+}
+
+TEST_P(AesBackendSuite, LineCipherIdenticalAcrossBackends) {
+  const LineCipher reference(test_key(), "reference");
+  const LineCipher cipher(test_key(), GetParam());
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const LineData pt = random_line(rng);
+    const std::uint64_t addr = rng.next_u64() & ~0x3full;
+    const std::uint64_t version = rng.next_below(1ull << 56);
+    EXPECT_EQ(cipher.encrypt(pt, addr, version),
+              reference.encrypt(pt, addr, version));
+  }
+}
+
+TEST_P(AesBackendSuite, MacSchemesIdenticalAcrossBackends) {
+  Rng rng(14);
+  const LineData data = random_line(rng);
+  for (const MacKind kind : {MacKind::kMultilinear, MacKind::kCbcMac}) {
+    const auto reference = make_mac_scheme(kind, test_key(), "reference");
+    const auto mac = make_mac_scheme(kind, test_key(), GetParam());
+    EXPECT_EQ(mac->tag(0x1000, 7, data), reference->tag(0x1000, 7, data));
+  }
+}
+
+TEST(AesBackendRegistry, NamesAndAvailability) {
+  const auto names = aes_backend_names();
+  for (const char* expected : {"reference", "ttable", "aesni", "auto"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  EXPECT_TRUE(is_aes_backend("auto"));
+  EXPECT_FALSE(is_aes_backend("openssl"));
+  EXPECT_TRUE(aes_backend_available("reference"));
+  EXPECT_TRUE(aes_backend_available("ttable"));
+  EXPECT_TRUE(aes_backend_available("auto"));
+  // "auto" resolves to a concrete, runnable backend.
+  const auto resolved = std::string(resolve_aes_backend("auto"));
+  EXPECT_NE(resolved, "auto");
+  EXPECT_TRUE(aes_backend_available(resolved));
+  EXPECT_EQ(make_aes_backend("auto", test_key())->name(), resolved);
+  EXPECT_THROW((void)make_aes_backend("openssl", test_key()),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- pad caching --
+
+TEST(PadCache, LineCipherHitsOnRepeatedNonceAndCountsIt) {
+  obs::Registry registry;
+  LineCipher cipher(test_key());
+  const auto hit = registry.counter("crypto.pad", "hit");
+  const auto miss = registry.counter("crypto.pad", "miss");
+  cipher.set_pad_counters(hit, miss);
+
+  Rng rng(15);
+  const LineData pt = random_line(rng);
+  const auto first = cipher.encrypt(pt, 0x1000, 1);
+  EXPECT_EQ(hit.value(), 0u);
+  EXPECT_EQ(miss.value(), 1u);
+  // Same nonce again: served from the cache, identical keystream.
+  EXPECT_EQ(cipher.encrypt(pt, 0x1000, 1), first);
+  EXPECT_EQ(hit.value(), 1u);
+  EXPECT_EQ(miss.value(), 1u);
+  EXPECT_EQ(cipher.decrypt(first, 0x1000, 1), pt);
+  EXPECT_EQ(hit.value(), 2u);
+}
+
+TEST(PadCache, VersionBumpInvalidates) {
+  // Coherence: after a version bump the cache must not serve the old pad —
+  // the cached and uncached ciphers must agree at every version.
+  LineCipher cached(test_key());
+  LineCipher uncached(test_key());
+  uncached.set_pad_cache_enabled(false);
+  Rng rng(16);
+  const LineData pt = random_line(rng);
+  LineData previous{};
+  for (std::uint64_t version = 1; version <= 8; ++version) {
+    const auto warm = cached.encrypt(pt, 0x2000, version);  // fill
+    EXPECT_EQ(cached.encrypt(pt, 0x2000, version), warm);   // hot
+    EXPECT_EQ(uncached.encrypt(pt, 0x2000, version), warm);
+    EXPECT_NE(warm, previous);  // fresh keystream per version
+    previous = warm;
+  }
+}
+
+TEST(PadCache, MultilinearPadCacheCoherentAcrossVersions) {
+  MultilinearMac cached(test_key());
+  MultilinearMac uncached(test_key());
+  uncached.set_pad_cache_enabled(false);
+  Rng rng(17);
+  const LineData data = random_line(rng);
+  for (std::uint64_t version = 1; version <= 8; ++version) {
+    const auto warm = cached.tag(0x3000, version, data);
+    EXPECT_EQ(cached.tag(0x3000, version, data), warm);
+    EXPECT_EQ(uncached.tag(0x3000, version, data), warm);
+  }
+  // And the cached tag still changes when the data changes.
+  LineData flipped = data;
+  flipped[0] ^= 1;
+  EXPECT_NE(cached.tag(0x3000, 1, flipped), cached.tag(0x3000, 1, data));
+}
+
+TEST(PadCache, MultilinearCountsHitsAndMisses) {
+  obs::Registry registry;
+  MultilinearMac mac(test_key());
+  const auto hit = registry.counter("crypto.pad", "hit");
+  const auto miss = registry.counter("crypto.pad", "miss");
+  mac.set_pad_counters(hit, miss);
+  const LineData data{};
+  (void)mac.tag(0x40, 1, data);
+  (void)mac.tag(0x40, 1, data);
+  (void)mac.tag(0x40, 2, data);  // version bump: miss, not a stale hit
+  EXPECT_EQ(miss.value(), 2u);
+  EXPECT_EQ(hit.value(), 1u);
 }
 
 }  // namespace

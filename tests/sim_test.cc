@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
 #include <vector>
 
@@ -124,6 +125,56 @@ TEST(Des, UnspawnedProcessCleansUp) {
   std::vector<Cycles> ticks;
   { const Process p = record_ticks(scheduler, &ticks, 10, 3); }
   EXPECT_TRUE(ticks.empty());  // never ran, no leak (ASAN would catch)
+}
+
+TEST(Des, FinishedProcessesArePruned) {
+  Scheduler scheduler;
+  EXPECT_EQ(scheduler.live_processes(), 0u);
+  std::vector<Cycles> ticks;
+  for (int i = 0; i < 1000; ++i)
+    scheduler.spawn(record_ticks(scheduler, &ticks, 1, 2));
+  EXPECT_EQ(scheduler.live_processes(), 1000u);
+  scheduler.run_to_completion();
+  EXPECT_EQ(ticks.size(), 2000u);
+  EXPECT_EQ(scheduler.live_processes(), 0u);  // all reclaimed, not retained
+}
+
+TEST(Des, ExceptionStillPropagatesAfterManyCompletions) {
+  // The O(1) completion path must not lose agent errors: an agent that dies
+  // after thousands of other agents have come and gone still surfaces.
+  Scheduler scheduler;
+  std::vector<Cycles> scratch;
+  for (int i = 0; i < 2000; ++i)
+    scheduler.spawn(record_ticks(scheduler, &scratch, 1, 1));
+  scheduler.spawn(throwing_agent(scheduler));  // throws at t=50
+  EXPECT_THROW(scheduler.run_to_completion(), std::runtime_error);
+  EXPECT_EQ(scheduler.live_processes(), 0u);
+}
+
+TEST(Des, DispatchCostIndependentOfHistoricalSpawns) {
+  // Regression guard for the old dispatch(), which scanned every handle the
+  // scheduler had EVER spawned after each event (O(events × processes)).
+  // Time a fixed-size dispatch workload after a small and a large number of
+  // historical (completed) spawns; the costs must be comparable.
+  const auto timed_run = [](int history) {
+    Scheduler scheduler;
+    std::vector<Cycles> scratch;
+    for (int i = 0; i < history; ++i)
+      scheduler.spawn(record_ticks(scheduler, &scratch, 1, 1));
+    scheduler.run_to_completion();
+    std::vector<Cycles> ticks;
+    scheduler.spawn(record_ticks(scheduler, &ticks, 1, 20'000));
+    const auto start = std::chrono::steady_clock::now();
+    scheduler.run_to_completion();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double small_history = timed_run(16);
+  const double large_history = timed_run(20'000);
+  // With the scanning dispatch this ratio is in the hundreds; 8x plus an
+  // absolute 10 ms slack absorbs timer noise on loaded CI machines.
+  EXPECT_LT(large_history, small_history * 8.0 + 0.01);
 }
 
 // ---------------------------------------------------------------- system --
