@@ -14,7 +14,9 @@
 // --json writes one JSON line per trial ("-" for stdout). --counters prints
 // the merged observability counters of the whole sweep; --trace streams
 // every simulator trace event as JSONL (--trace-chrome: Chrome trace_event
-// JSON for chrome://tracing / Perfetto). Tracing forces --jobs 1.
+// JSON for chrome://tracing / Perfetto). Traced parallel sweeps buffer each
+// trial's events and write them in trial order — byte-identical at any
+// --jobs value.
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -56,9 +58,12 @@ int usage(std::FILE* out) {
       "      --json PATH           JSONL results, one line per trial ('-' = "
       "stdout)\n"
       "      --counters            print the sweep's merged counter table\n"
-      "      --trace PATH          trace events as JSONL (forces --jobs 1)\n"
+      "      --trace PATH          trace events as JSONL (parallel trials are\n"
+      "                            buffered and written in trial order)\n"
       "      --trace-chrome PATH   trace events as Chrome trace_event JSON\n"
       "      --trace-sample N      keep every Nth trace event (default 1)\n"
+      "      --no-reuse-setup      rebuild warm setup state for every trial\n"
+      "                            instead of snapshot/fork sharing\n"
       "      --artifacts           print per-trial charts/tables even for "
       "sweeps\n"
       "      --quiet               no per-trial progress on stderr\n"
@@ -66,26 +71,35 @@ int usage(std::FILE* out) {
       "      --out PATH            JSON report (default BENCH_hotpath.json,\n"
       "                            '-' = stdout)\n"
       "      --check               fail unless ttable AES is >= 2x faster\n"
-      "                            than the reference backend\n");
+      "                            than the reference backend and snapshot\n"
+      "                            reuse reproduces fresh results exactly\n"
+      "      --compare PATH        diff kernels against a baseline report;\n"
+      "                            fail if any is >15%% slower\n"
+      "      --no-sweep            skip the fresh-vs-snapshot sweep section\n");
   return out == stdout ? 0 : 2;
 }
 
 int cmd_perf(const std::vector<std::string>& args) {
-  std::string out_path = "BENCH_hotpath.json";
-  bool check = false;
+  bench::PerfOptions options;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--out") {
       if (i + 1 >= args.size())
         throw runtime::ParamError("--out needs an argument");
-      out_path = args[++i];
+      options.out_path = args[++i];
     } else if (args[i] == "--check") {
-      check = true;
+      options.check = true;
+    } else if (args[i] == "--compare") {
+      if (i + 1 >= args.size())
+        throw runtime::ParamError("--compare needs an argument");
+      options.compare_path = args[++i];
+    } else if (args[i] == "--no-sweep") {
+      options.run_sweep = false;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", args[i].c_str());
       return usage(stderr);
     }
   }
-  return bench::run_perf_suite(out_path, check);
+  return bench::run_perf_suite(options);
 }
 
 int cmd_list() {
@@ -160,6 +174,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   std::string json_path, trace_path, trace_chrome_path;
   std::uint64_t trace_sample = 1;
   bool quiet = false, force_artifacts = false, show_counters = false;
+  bool reuse_setup = true;
   const std::vector<std::string> rest =
       runtime::parse_sweep_args(args, &sweep);
   for (std::size_t i = 0; i < rest.size(); ++i) {
@@ -182,6 +197,10 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
     } else if (arg == "--trace-sample") {
       trace_sample = runtime::parse_u64("--trace-sample", value());
       if (trace_sample == 0) trace_sample = 1;
+    } else if (arg == "--no-reuse-setup") {
+      reuse_setup = false;
+    } else if (arg == "--reuse-setup") {
+      reuse_setup = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--artifacts") {
@@ -203,7 +222,8 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
                  trials.size() == 1 ? "" : "s", jobs == 0 ? 0 : jobs,
                  jobs == 1 ? "" : "s");
   // Trace plumbing: file stream → (JSONL or Chrome) sink → optional
-  // sampling decimator. The runner serializes trials when a sink is set.
+  // sampling decimator. The runner buffers per-trial events and replays
+  // them in trial order, so traced sweeps still parallelize.
   std::ofstream trace_out;
   std::unique_ptr<obs::TraceSink> trace_sink;
   std::unique_ptr<obs::SamplingSink> sampler;
@@ -228,6 +248,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   std::size_t completed = 0;
   runtime::RunnerConfig runner;
   runner.jobs = jobs;
+  runner.reuse_setup = reuse_setup;
   if (trace_sink) {
     if (trace_sample > 1)
       sampler = std::make_unique<obs::SamplingSink>(*trace_sink, trace_sample);
@@ -250,9 +271,14 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
     };
   }
 
+  runtime::SetupStats setup_stats;
   const std::vector<runtime::TrialRecord> records =
-      runtime::run_trials(experiment, trials, runner);
+      runtime::run_trials(experiment, trials, runner, &setup_stats);
   if (runner.trace_sink) runner.trace_sink->flush();
+  if (!quiet && setup_stats.misses > 0)
+    std::fprintf(stderr, "setup reuse: %llu shared setup%s across %zu trials\n",
+                 static_cast<unsigned long long>(setup_stats.misses),
+                 setup_stats.misses == 1 ? "" : "s", trials.size());
 
   // With --json - the JSONL stream owns stdout; human output moves to stderr.
   std::FILE* human = json_path == "-" ? stderr : stdout;

@@ -3,12 +3,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <ostream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "channel/covert_channel.h"
 #include "channel/testbed.h"
@@ -19,6 +21,10 @@
 #include "mee/engine.h"
 #include "mem/address_map.h"
 #include "mem/physical_memory.h"
+#include "runtime/registry.h"
+#include "runtime/runner.h"
+#include "runtime/sink.h"
+#include "runtime/sweep.h"
 #include "sim/des.h"
 
 namespace meecc::bench {
@@ -94,10 +100,141 @@ QuickstartResult run_quickstart() {
   return out;
 }
 
+/// The fresh-vs-snapshot sweep benchmark: a setup-heavy mitigations sweep
+/// (8 payload-bits points x 4 seeds; only the measure phase varies per
+/// point, so snapshot reuse shares one Algorithm-1 setup per seed).
+struct SweepBenchResult {
+  std::size_t trials = 0;
+  std::size_t shared_setups = 0;  ///< distinct warm states under reuse
+  double fresh_seconds = 0.0;
+  double snapshot_seconds = 0.0;
+  double speedup = 0.0;
+  /// Byte equality of the two runs' JSONL record streams — snapshot reuse
+  /// must not change any result.
+  bool identical_results = false;
+};
+
+SweepBenchResult run_sweep_bench() {
+  const runtime::Experiment& experiment = runtime::get_experiment("mitigations");
+  runtime::SweepSpec spec;
+  spec.sets = {{"mee.cache.indexing", "modulo"}, {"setup_attempts", "1"}};
+  spec.axes = {{"bits", {"16", "24", "32", "40", "48", "56", "64", "72"}}};
+  spec.seeds = 4;
+  const auto trials = runtime::expand_sweep(experiment, spec);
+
+  // jobs=1: wall-clock contrast between the modes, undiluted by pool
+  // scheduling noise. Results are jobs-independent either way.
+  runtime::RunnerConfig config;
+  config.jobs = 1;
+  const auto timed = [&](bool reuse, std::vector<runtime::TrialRecord>* out,
+                         runtime::SetupStats* stats) {
+    config.reuse_setup = reuse;
+    const auto start = Clock::now();
+    *out = runtime::run_trials(experiment, trials, config, stats);
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  SweepBenchResult result;
+  result.trials = trials.size();
+  std::vector<runtime::TrialRecord> fresh_records, snapshot_records;
+  runtime::SetupStats fresh_stats, snapshot_stats;
+  result.fresh_seconds = timed(false, &fresh_records, &fresh_stats);
+  result.snapshot_seconds = timed(true, &snapshot_records, &snapshot_stats);
+  result.shared_setups = snapshot_stats.misses;
+  result.speedup = result.snapshot_seconds > 0.0
+                       ? result.fresh_seconds / result.snapshot_seconds
+                       : 0.0;
+  std::ostringstream fresh_jsonl, snapshot_jsonl;
+  runtime::write_jsonl(fresh_jsonl, fresh_records);
+  runtime::write_jsonl(snapshot_jsonl, snapshot_records);
+  result.identical_results = fresh_jsonl.str() == snapshot_jsonl.str();
+  return result;
+}
+
+/// Pulls the name -> ns pairs out of a baseline report's
+/// "kernels_ns_per_op" object. Minimal scan, matched to write_json's
+/// output shape.
+std::vector<std::pair<std::string, double>> parse_baseline_kernels(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> kernels;
+  const auto section = text.find("\"kernels_ns_per_op\"");
+  if (section == std::string::npos) return kernels;
+  auto pos = text.find('{', section);
+  const auto end = text.find('}', pos);
+  if (pos == std::string::npos || end == std::string::npos) return kernels;
+  while (true) {
+    const auto name_start = text.find('"', pos + 1);
+    if (name_start == std::string::npos || name_start > end) break;
+    const auto name_end = text.find('"', name_start + 1);
+    const auto colon = text.find(':', name_end);
+    if (name_end == std::string::npos || colon == std::string::npos ||
+        colon > end)
+      break;
+    kernels.emplace_back(
+        text.substr(name_start + 1, name_end - name_start - 1),
+        std::strtod(text.c_str() + colon + 1, nullptr));
+    pos = text.find(',', colon);
+    if (pos == std::string::npos || pos > end) break;
+  }
+  return kernels;
+}
+
+/// Per-kernel delta report against a baseline file. Returns false when any
+/// kernel regressed by more than 15%; getting faster (or kernels appearing
+/// or disappearing — backend availability differs across hosts) never
+/// fails.
+bool compare_with_baseline(
+    const std::vector<std::pair<std::string, double>>& kernels,
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto baseline = parse_baseline_kernels(buffer.str());
+  if (baseline.empty()) {
+    std::fprintf(stderr, "no kernels_ns_per_op in baseline '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  constexpr double kTolerance = 0.15;
+  bool ok = true;
+  std::fprintf(stderr, "compare vs %s (tolerance +%.0f%%):\n", path.c_str(),
+               kTolerance * 100.0);
+  for (const auto& [name, ns] : kernels) {
+    double base = 0.0;
+    for (const auto& [base_name, base_ns] : baseline)
+      if (base_name == name) base = base_ns;
+    if (base <= 0.0) {
+      std::fprintf(stderr, "  %-28s %12.1f ns/op  (new, no baseline)\n",
+                   name.c_str(), ns);
+      continue;
+    }
+    const double delta = (ns - base) / base * 100.0;
+    const bool slow = delta > kTolerance * 100.0;
+    std::fprintf(stderr, "  %-28s %12.1f ns/op  %+7.1f%%%s\n", name.c_str(),
+                 ns, delta, slow ? "  REGRESSION" : "");
+    if (slow) ok = false;
+  }
+  for (const auto& [name, base_ns] : baseline) {
+    bool present = false;
+    for (const auto& [current_name, ns] : kernels)
+      if (current_name == name) present = true;
+    if (!present)
+      std::fprintf(stderr, "  %-28s (baseline %.1f ns/op, not run here)\n",
+                   name.c_str(), base_ns);
+  }
+  std::fprintf(stderr, "compare: %s\n", ok ? "ok" : "FAIL");
+  return ok;
+}
+
 void write_json(std::ostream& os,
                 const std::vector<std::pair<std::string, double>>& kernels,
                 const std::vector<std::pair<std::string, double>>& speedups,
-                const QuickstartResult& quickstart, bool checked,
+                const QuickstartResult& quickstart,
+                const SweepBenchResult* sweep, bool checked,
                 bool check_passed) {
   os << "{\n  \"schema\": \"meecc.bench.hotpath.v1\",\n  \"kernels_ns_per_op\": {";
   bool first = true;
@@ -116,6 +253,16 @@ void write_json(std::ostream& os,
      << "    \"wall_seconds\": " << quickstart.wall_seconds << ",\n"
      << "    \"walks_per_sec\": " << quickstart.walks_per_sec << ",\n"
      << "    \"bits_per_sec\": " << quickstart.bits_per_sec << "\n  }";
+  if (sweep != nullptr)
+    os << ",\n  \"sweep\": {\n"
+       << "    \"experiment\": \"mitigations\",\n"
+       << "    \"trials\": " << sweep->trials << ",\n"
+       << "    \"shared_setups\": " << sweep->shared_setups << ",\n"
+       << "    \"fresh_seconds\": " << sweep->fresh_seconds << ",\n"
+       << "    \"snapshot_seconds\": " << sweep->snapshot_seconds << ",\n"
+       << "    \"speedup\": " << sweep->speedup << ",\n"
+       << "    \"identical_results\": "
+       << (sweep->identical_results ? "true" : "false") << "\n  }";
   if (checked)
     os << ",\n  \"check\": {\n    \"ttable_speedup_min\": 2.0,\n"
        << "    \"passed\": " << (check_passed ? "true" : "false") << "\n  }";
@@ -124,7 +271,7 @@ void write_json(std::ostream& os,
 
 }  // namespace
 
-int run_perf_suite(const std::string& out_path, bool check) {
+int run_perf_suite(const PerfOptions& options) {
   std::vector<std::pair<std::string, double>> kernels;
   const auto record = [&](const std::string& name, double ns) {
     kernels.emplace_back(name, ns);
@@ -217,6 +364,9 @@ int run_perf_suite(const std::string& out_path, bool check) {
          }));
   record("scheduler.churn", ns_per_op([](std::uint64_t iters) {
            sim::Scheduler scheduler;
+           // Ambient arena: spawn-time frames recycle through the
+           // scheduler's size-class freelists instead of the global heap.
+           sim::FrameArena::Scope scope(&scheduler.arena());
            for (std::uint64_t i = 0; i < iters; ++i)
              scheduler.spawn(one_shot(scheduler));
            scheduler.run_to_completion();
@@ -230,27 +380,52 @@ int run_perf_suite(const std::string& out_path, bool check) {
                static_cast<unsigned long long>(quickstart.walks),
                quickstart.wall_seconds);
 
+  // --- sweep: fresh vs snapshot/fork setup reuse --------------------------
+  SweepBenchResult sweep;
+  if (options.run_sweep) {
+    std::fprintf(stderr, "  sweep fresh-vs-snapshot...\n");
+    sweep = run_sweep_bench();
+    std::fprintf(stderr,
+                 "  %-28s fresh %.2fs, snapshot %.2fs (%.1fx, %zu setups for "
+                 "%zu trials), results %s\n",
+                 "sweep.mitigations", sweep.fresh_seconds,
+                 sweep.snapshot_seconds, sweep.speedup, sweep.shared_setups,
+                 sweep.trials,
+                 sweep.identical_results ? "identical" : "DIFFERENT");
+  }
+
   bool check_passed = true;
-  if (check) {
+  if (options.check) {
     const double speedup =
         ttable_ns > 0.0 && reference_ns > 0.0 ? reference_ns / ttable_ns : 0.0;
     check_passed = speedup >= 2.0;
     std::fprintf(stderr, "check: ttable %.1fx reference (needs >= 2.0x): %s\n",
                  speedup, check_passed ? "ok" : "FAIL");
+    if (options.run_sweep && !sweep.identical_results) {
+      std::fprintf(stderr,
+                   "check: snapshot-reuse results differ from fresh: FAIL\n");
+      check_passed = false;
+    }
   }
+  if (!options.compare_path.empty() &&
+      !compare_with_baseline(kernels, options.compare_path))
+    check_passed = false;
 
   std::ostringstream json;
-  write_json(json, kernels, speedups, quickstart, check, check_passed);
-  if (out_path == "-") {
+  write_json(json, kernels, speedups, quickstart,
+             options.run_sweep ? &sweep : nullptr, options.check,
+             check_passed);
+  if (options.out_path == "-") {
     std::cout << json.str();
   } else {
-    std::ofstream out(out_path);
+    std::ofstream out(options.out_path);
     if (!out) {
-      std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   options.out_path.c_str());
       return 1;
     }
     out << json.str();
-    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    std::fprintf(stderr, "wrote %s\n", options.out_path.c_str());
   }
   return check_passed ? 0 : 1;
 }

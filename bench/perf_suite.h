@@ -4,17 +4,33 @@
 // experiments stress: raw AES blocks per backend, line encryption and MAC
 // tagging with the keystream/pad cache cold and hot, MEE tree walks,
 // scheduler dispatch, and the end-to-end quickstart scenario (walks/sec).
+// A `sweep` section times a setup-heavy mitigations sweep fresh vs with
+// snapshot/fork setup reuse and records the speedup plus a byte-level
+// equality check of the two result sets.
 #pragma once
 
 #include <string>
-#include <vector>
 
 namespace meecc::bench {
 
-/// Runs the suite. `out_path` receives the JSON report ("-" = stdout);
-/// `check` additionally enforces the tracked expectations (ttable at least
-/// 2x faster than reference AES) and makes the exit code nonzero when they
-/// fail. Returns a process exit code.
-int run_perf_suite(const std::string& out_path, bool check);
+struct PerfOptions {
+  std::string out_path = "BENCH_hotpath.json";  ///< "-" = stdout
+  /// Enforce the tracked expectations (ttable at least 2x faster than
+  /// reference AES; snapshot-reuse results identical to fresh) and make
+  /// the exit code nonzero when they fail.
+  bool check = false;
+  /// Baseline BENCH_hotpath.json to diff against: prints per-kernel deltas
+  /// and fails (nonzero exit) when any kernel is more than 15% slower than
+  /// the baseline. Getting faster never fails. Empty = no comparison.
+  std::string compare_path;
+  /// Run the fresh-vs-snapshot sweep benchmark (the slowest section;
+  /// --no-sweep skips it for quick kernel-only runs).
+  bool run_sweep = true;
+};
+
+/// Runs the suite. The caller must have registered the builtin experiments
+/// (the sweep section runs the "mitigations" experiment). Returns a process
+/// exit code.
+int run_perf_suite(const PerfOptions& options);
 
 }  // namespace meecc::bench

@@ -61,8 +61,11 @@ elif [ "$STAGE" = "perf" ]; then
     --benchmark_filter='BM_(AesEncryptBlock|LineEncrypt|MultilinearTag|SchedulerDispatch|SchedulerChurn)' \
     --benchmark_min_time=0.05
   # The tracked suite: BENCH_hotpath.json is the uploadable baseline;
-  # --check enforces ttable >= 2x reference AES.
-  "$DIR/bench/meecc_bench" perf --out "$ARTIFACTS/BENCH_hotpath.json" --check
+  # --check enforces ttable >= 2x reference AES and that snapshot-reuse
+  # sweep results are byte-identical to fresh ones; --compare fails the
+  # stage when any kernel regresses >15% against the committed baseline.
+  "$DIR/bench/meecc_bench" perf --out "$ARTIFACTS/BENCH_hotpath.json" --check \
+    --compare "$ROOT/BENCH_hotpath.json"
   echo "CI OK (perf)"
   exit 0
 elif [ "$STAGE" != "all" ]; then

@@ -129,4 +129,26 @@ void Hierarchy::flush_all() {
   }
 }
 
+Hierarchy::State Hierarchy::export_state() const {
+  State state;
+  state.l1.reserve(l1_.size());
+  state.l2.reserve(l2_.size());
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    state.l1.push_back(*l1_[c]);
+    state.l2.push_back(*l2_[c]);
+  }
+  state.llc.push_back(*llc_);
+  return state;
+}
+
+void Hierarchy::import_state(const State& state) {
+  MEECC_CHECK(state.l1.size() == l1_.size() && state.l2.size() == l2_.size() &&
+              state.llc.size() == 1);
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    *l1_[c] = state.l1[c];
+    *l2_[c] = state.l2[c];
+  }
+  *llc_ = state.llc[0];
+}
+
 }  // namespace meecc::cache

@@ -71,6 +71,18 @@ class Hierarchy {
 
   void flush_all();
 
+  /// Full cache-array state for snapshot/fork: value copies of every level
+  /// (lines, PLRU bits, policy objects, per-set eviction tallies, RNG).
+  /// Counter handles are NOT part of the state — import keeps this
+  /// hierarchy's own bindings.
+  struct State {
+    std::vector<SetAssocCache> l1;
+    std::vector<SetAssocCache> l2;
+    std::vector<SetAssocCache> llc;
+  };
+  State export_state() const;
+  void import_state(const State& state);
+
  private:
   void back_invalidate(PhysAddr addr);
 

@@ -44,6 +44,10 @@ class ModuloIndexing final : public IndexingPolicy {
   }
   std::optional<std::uint64_t> modulo_mask() const override { return mask_; }
 
+  std::unique_ptr<IndexingPolicy> clone() const override {
+    return std::make_unique<ModuloIndexing>(*this);
+  }
+
  private:
   std::uint64_t mask_;
 };
@@ -61,6 +65,10 @@ class KeyedIndexing final : public IndexingPolicy {
     return keyed_line_permutation(line, key_) & mask_;
   }
   void rekey(std::uint64_t fresh_key) override { key_ = fresh_key; }
+
+  std::unique_ptr<IndexingPolicy> clone() const override {
+    return std::make_unique<KeyedIndexing>(*this);
+  }
 
  private:
   std::uint64_t mask_;
@@ -93,6 +101,10 @@ class SkewedIndexing final : public IndexingPolicy {
   bool way_dependent() const override { return partitions_ > 1; }
   void rekey(std::uint64_t fresh_key) override { key_ = fresh_key; }
 
+  std::unique_ptr<IndexingPolicy> clone() const override {
+    return std::make_unique<SkewedIndexing>(*this);
+  }
+
  private:
   std::uint64_t mask_;
   std::uint64_t key_;
@@ -104,6 +116,9 @@ class AllWaysFill final : public FillPolicy {
  public:
   std::string_view name() const override { return "all"; }
   bool passthrough() const override { return true; }
+  std::unique_ptr<FillPolicy> clone() const override {
+    return std::make_unique<AllWaysFill>(*this);
+  }
 };
 
 /// Way partitioning by requesting core (CATalyst-style, §5.5): even cores
@@ -117,6 +132,10 @@ class PartitionFill final : public FillPolicy {
   std::string_view name() const override { return "partition"; }
   WayMask allowed_ways(CoreId requester) const override {
     return way_partition_mask(ways_, requester);
+  }
+
+  std::unique_ptr<FillPolicy> clone() const override {
+    return std::make_unique<PartitionFill>(*this);
   }
 
  private:
@@ -135,6 +154,10 @@ class RandomFill final : public FillPolicy {
 
   std::string_view name() const override { return "random"; }
   bool admits(CoreId, Rng& rng) override { return rng.chance(probability_); }
+
+  std::unique_ptr<FillPolicy> clone() const override {
+    return std::make_unique<RandomFill>(*this);
+  }
 
  private:
   double probability_;

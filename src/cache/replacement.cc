@@ -73,6 +73,10 @@ class LruPolicy final : public ReplacementPolicy {
     stamp_[way] = 0;  // oldest possible → chosen first
   }
 
+  std::unique_ptr<ReplacementPolicy> clone() const override {
+    return std::make_unique<LruPolicy>(*this);
+  }
+
  private:
   std::vector<std::uint64_t> stamp_;
   std::uint64_t clock_ = 0;
@@ -129,6 +133,10 @@ class TreePlruPolicy final : public ReplacementPolicy {
     }
   }
 
+  std::unique_ptr<ReplacementPolicy> clone() const override {
+    return std::make_unique<TreePlruPolicy>(*this);
+  }
+
  private:
   std::uint32_t ways_;
   std::uint32_t depth_;  // log2(ways)
@@ -166,6 +174,10 @@ class NruPolicy final : public ReplacementPolicy {
     referenced_[way] = false;
   }
 
+  std::unique_ptr<ReplacementPolicy> clone() const override {
+    return std::make_unique<NruPolicy>(*this);
+  }
+
  private:
   std::vector<bool> referenced_;
   Rng rng_;
@@ -180,6 +192,10 @@ class RandomPolicy final : public ReplacementPolicy {
     return static_cast<std::uint32_t>(rng_.next_below(ways_));
   }
   void invalidate(std::uint32_t) override {}
+
+  std::unique_ptr<ReplacementPolicy> clone() const override {
+    return std::make_unique<RandomPolicy>(*this);
+  }
 
  private:
   std::uint32_t ways_;

@@ -40,6 +40,10 @@ class ReplacementPolicy {
   virtual std::uint32_t victim() = 0;
   /// Forgets any use history for `way` (invalidation).
   virtual void invalidate(std::uint32_t way) = 0;
+
+  /// Deep copy including RNG state, so a forked cache replays the same
+  /// victim/tie-break stream as the original (snapshot/fork support).
+  virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
 };
 
 /// Factory. `rng` is consumed by stochastic policies (kRandom, NRU tie-break).

@@ -101,6 +101,37 @@ SetAssocCache::SetAssocCache(const Geometry& geometry,
           PolicyConfig{.replacement = std::string(to_string(replacement))},
           std::move(rng)) {}
 
+SetAssocCache::SetAssocCache(const SetAssocCache& other)
+    : geometry_(other.geometry_),
+      indexing_(other.indexing_->clone()),
+      fill_(other.fill_->clone()),
+      lines_(other.lines_),
+      plru_bits_(other.plru_bits_),
+      flat_plru_(other.flat_plru_),
+      plru_depth_(other.plru_depth_),
+      set_evictions_(other.set_evictions_),
+      stats_(other.stats_),
+      line_shift_(other.line_shift_),
+      way_dependent_(other.way_dependent_),
+      direct_modulo_(other.direct_modulo_),
+      direct_mask_(other.direct_mask_),
+      fill_passthrough_(other.fill_passthrough_),
+      rng_(other.rng_) {
+  MEECC_CHECK_MSG(indexing_ != nullptr && fill_ != nullptr,
+                  "cache policy does not implement clone(); snapshot/fork "
+                  "needs cloneable policies");
+  policy_.reserve(other.policy_.size());
+  for (const auto& p : other.policy_) policy_.push_back(p->clone());
+}
+
+SetAssocCache& SetAssocCache::operator=(const SetAssocCache& other) {
+  if (this != &other) {
+    SetAssocCache copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
 std::uint64_t& SetAssocCache::line_at(std::uint64_t set, std::uint32_t way) {
   return lines_[set * geometry_.ways + way];
 }

@@ -45,6 +45,16 @@ class SetAssocCache {
   /// Classic shape: modulo indexing, all-ways fill, `replacement`.
   SetAssocCache(const Geometry& geometry, ReplacementKind replacement, Rng rng);
 
+  /// Deep copy (snapshot/fork support): clones the policy objects so the
+  /// copy replays the identical victim/admission streams. Throws
+  /// CheckFailure when an externally registered policy doesn't implement
+  /// clone(). Declaring the copy pair suppresses the implicit moves, so
+  /// they're re-defaulted explicitly.
+  SetAssocCache(const SetAssocCache& other);
+  SetAssocCache& operator=(const SetAssocCache& other);
+  SetAssocCache(SetAssocCache&&) = default;
+  SetAssocCache& operator=(SetAssocCache&&) = default;
+
   /// Probe without side effects: is the line resident?
   bool contains(PhysAddr addr) const;
 

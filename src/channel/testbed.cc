@@ -52,6 +52,29 @@ TestBedConfig default_testbed_config(std::uint64_t seed) {
 }
 
 TestBed::TestBed(const TestBedConfig& config) : config_(config) {
+  build_machine();
+  spawn_environment();
+}
+
+TestBed::TestBed(const TestBedConfig& config, const TestBedSnapshot& snap)
+    : config_(config) {
+  // Full construction replays the donor's deterministic prefix (RNG fork
+  // order, EPC frame allocation, page-table layout), so restore() only has
+  // to overwrite mutable state on top.
+  build_machine();
+  system_->restore(snap.system);
+  sim::Actor* actors[] = {trojan_actor_.get(), spy_actor_.get(),
+                          noise_actor_.get(), background_actor_.get()};
+  for (std::size_t i = 0; i < snap.actors.size(); ++i) {
+    actors[i]->busy_wait_until(snap.actors[i].clock);
+    actors[i]->rng() = snap.actors[i].rng;
+    actors[i]->vas() = snap.actors[i].vas;
+  }
+  noise_started_ = snap.noise_started;
+  respawn_environment();
+}
+
+void TestBed::build_machine() {
   system_ = std::make_unique<sim::System>(config_.system);
 
   trojan_actor_ =
@@ -78,12 +101,11 @@ TestBed::TestBed(const TestBedConfig& config) : config_(config) {
   background_enclave_ = std::make_unique<sgx::Enclave>(
       *background_actor_, sgx::EnclaveConfig{VirtAddr{0x7300'0000'0000ULL},
                                              config_.background_enclave_bytes});
-  spawn_environment();
 }
 
 void TestBed::spawn_environment() {
   if (config_.background_mean_gap > 0) {
-    scheduler().spawn(sim::background_activity(
+    background_handle_ = scheduler().spawn(sim::background_activity(
         *background_actor_,
         sim::BackgroundConfig{.base = background_enclave_->base(),
                               .bytes = background_enclave_->size(),
@@ -98,22 +120,29 @@ void TestBed::start_noise() {
   // Bring the noise core's clock up to date: a freshly-started co-tenant
   // must not generate traffic "in the past".
   noise_actor_->busy_wait_until(scheduler().now());
+  if (config_.noise == NoiseEnv::kMemoryStress) {
+    // The mapping survives quiesce/respawn (it lives in the actor's address
+    // space, not in the agent), so it happens once here, not per spawn.
+    sim::map_general_buffer(*noise_actor_, VirtAddr{0x6000'0000'0000ULL},
+                            16ull << 20);
+  }
+  spawn_noise_agent();
+}
 
+void TestBed::spawn_noise_agent() {
   switch (config_.noise) {
     case NoiseEnv::kNone:
       break;
-    case NoiseEnv::kMemoryStress: {
-      const VirtAddr buffer = sim::map_general_buffer(
-          *noise_actor_, VirtAddr{0x6000'0000'0000ULL}, 16ull << 20);
-      scheduler().spawn(sim::memory_stressor(
-          *noise_actor_, sim::StressorConfig{.base = buffer,
-                                             .bytes = 16ull << 20,
-                                             .gap = 120,
-                                             .flush_probability = 0.5}));
+    case NoiseEnv::kMemoryStress:
+      noise_handle_ = scheduler().spawn(sim::memory_stressor(
+          *noise_actor_,
+          sim::StressorConfig{.base = VirtAddr{0x6000'0000'0000ULL},
+                              .bytes = 16ull << 20,
+                              .gap = 120,
+                              .flush_probability = 0.5}));
       break;
-    }
     case NoiseEnv::kMeeStride512:
-      scheduler().spawn(sim::mee_stride_walker(
+      noise_handle_ = scheduler().spawn(sim::mee_stride_walker(
           *noise_actor_, sim::StrideWalkerConfig{.base = noise_enclave_->base(),
                                                  .bytes = noise_enclave_->size(),
                                                  .stride = 512,
@@ -122,7 +151,7 @@ void TestBed::start_noise() {
     case NoiseEnv::kMeeStride4K:
       // A 512 KB window keeps the lap short enough that the per-lap column
       // rotation sweeps all eight versions alias families within a transfer.
-      scheduler().spawn(sim::mee_stride_walker(
+      noise_handle_ = scheduler().spawn(sim::mee_stride_walker(
           *noise_actor_, sim::StrideWalkerConfig{.base = noise_enclave_->base(),
                                                  .bytes = std::min<std::uint64_t>(
                                                      noise_enclave_->size(),
@@ -131,6 +160,42 @@ void TestBed::start_noise() {
                                                  .gap = 180}));
       break;
   }
+}
+
+void TestBed::quiesce_environment() {
+  scheduler().cancel(background_handle_);
+  background_handle_ = sim::ProcessHandle{};
+  scheduler().cancel(noise_handle_);
+  noise_handle_ = sim::ProcessHandle{};
+  MEECC_CHECK_MSG(
+      scheduler().idle() && scheduler().live_processes() == 0,
+      "agents beyond the environment are still live at the quiesce boundary");
+}
+
+void TestBed::respawn_environment() {
+  if (config_.background_mean_gap > 0) {
+    background_handle_ = scheduler().spawn(sim::background_activity(
+        *background_actor_,
+        sim::BackgroundConfig{.base = background_enclave_->base(),
+                              .bytes = background_enclave_->size(),
+                              .mean_gap = config_.background_mean_gap}));
+  }
+  // Not start_noise(): the stress buffer is already mapped (restored with
+  // the actor's address space) and the noise clock is already current.
+  if (noise_started_) spawn_noise_agent();
+}
+
+TestBedSnapshot TestBed::snapshot() {
+  return TestBedSnapshot{
+      .system = system_->snapshot(),
+      .actors = {{{trojan_actor_->now(), trojan_actor_->rng(),
+                   trojan_actor_->vas()},
+                  {spy_actor_->now(), spy_actor_->rng(), spy_actor_->vas()},
+                  {noise_actor_->now(), noise_actor_->rng(),
+                   noise_actor_->vas()},
+                  {background_actor_->now(), background_actor_->rng(),
+                   background_actor_->vas()}}},
+      .noise_started = noise_started_};
 }
 
 void TestBed::run_until_flag(const bool& done, Cycles max_cycles) {

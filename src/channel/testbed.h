@@ -3,6 +3,7 @@
 // core — the setup of paper §2.3 / §5.4.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -52,9 +53,34 @@ struct TestBedConfig {
 /// EPC, MEE cache 64 KB/8-way/128 sets, 4.2 GHz.
 TestBedConfig default_testbed_config(std::uint64_t seed = 42);
 
+/// Warm test-bed state at a quiesce boundary (environment agents
+/// cancelled, scheduler drained): the machine snapshot plus each actor's
+/// local clock, RNG stream and address space, and whether deferred noise
+/// had started. Forking from it skips whatever warm-up produced it —
+/// typically Algorithm 1 + monitor discovery.
+struct TestBedSnapshot {
+  struct ActorState {
+    Cycles clock = 0;
+    Rng rng;
+    mem::VirtualAddressSpace vas;
+  };
+
+  sim::SystemSnapshot system;
+  std::array<ActorState, 4> actors;  ///< trojan, spy, noise, background
+  bool noise_started = false;
+};
+
 class TestBed {
  public:
   explicit TestBed(const TestBedConfig& config);
+
+  /// Fork constructor: rebuilds the machine from `config` — replaying the
+  /// deterministic construction prefix (RNG fork order, EPC frame
+  /// allocation) — then overwrites all mutable state from `snap` and
+  /// respawns the environment agents. The result is observationally
+  /// identical to the donor bed at its quiesce boundary. `config` must
+  /// equal the config the donor was built from.
+  TestBed(const TestBedConfig& config, const TestBedSnapshot& snap);
 
   sim::System& system() { return *system_; }
   sim::Scheduler& scheduler() { return system_->scheduler(); }
@@ -72,13 +98,33 @@ class TestBed {
   /// (no-op for NoiseEnv::kNone or if it auto-started).
   void start_noise();
 
+  /// Cancels the environment agents (background activity + noise), leaving
+  /// the scheduler quiesced so snapshot() can run. Every other agent must
+  /// already have finished — call between channel phases, not mid-run.
+  void quiesce_environment();
+
+  /// Re-spawns the agents cancelled by quiesce_environment(), in the
+  /// original spawn order. A respawned agent restarts its loop body (fresh
+  /// draws from the actor's live RNG stream), so the boundary is NOT a
+  /// no-op — both the fork path and the fresh path must pass through the
+  /// same quiesce→respawn boundary to stay trace-identical.
+  void respawn_environment();
+
+  /// Captures the bed's full state. Call between quiesce_environment() and
+  /// respawn_environment().
+  TestBedSnapshot snapshot();
+
   const TestBedConfig& config() const { return config_; }
 
  private:
+  void build_machine();
   void spawn_environment();
+  void spawn_noise_agent();
 
   TestBedConfig config_;
   bool noise_started_ = false;
+  sim::ProcessHandle background_handle_;
+  sim::ProcessHandle noise_handle_;
   std::unique_ptr<sim::System> system_;
   std::unique_ptr<sim::Actor> trojan_actor_;
   std::unique_ptr<sim::Actor> spy_actor_;

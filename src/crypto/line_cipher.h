@@ -47,6 +47,13 @@ class LineCipher {
     cache_.set_counters(hit, miss);
   }
 
+  /// Keystream-cache contents for snapshot/fork; import keeps this
+  /// cipher's own counter handles.
+  PadCache<LineData> export_pad_state() const { return cache_; }
+  void import_pad_state(const PadCache<LineData>& state) {
+    cache_.adopt_contents(state);
+  }
+
  private:
   LineData compute_keystream(std::uint64_t address,
                              std::uint64_t version) const;

@@ -50,6 +50,14 @@ class MacScheme {
   /// feeds the data through AES, so there is nothing nonce-keyed to cache).
   virtual void set_pad_cache_enabled(bool) {}
   virtual void set_pad_counters(obs::Counter /*hit*/, obs::Counter /*miss*/) {}
+
+  /// Opaque pad-cache contents for snapshot/fork. Schemes without a pad
+  /// cache export nullptr and ignore imports; import keeps the scheme's
+  /// own counter handles.
+  virtual std::shared_ptr<const void> export_pad_state() const {
+    return nullptr;
+  }
+  virtual void import_pad_state(const void* /*state*/) {}
 };
 
 enum class MacKind {
@@ -72,6 +80,15 @@ class MultilinearMac final : public MacScheme {
   }
   void set_pad_counters(obs::Counter hit, obs::Counter miss) override {
     pad_cache_.set_counters(hit, miss);
+  }
+
+  std::shared_ptr<const void> export_pad_state() const override {
+    return std::make_shared<PadCache<std::uint64_t>>(pad_cache_);
+  }
+  void import_pad_state(const void* state) override {
+    if (state != nullptr)
+      pad_cache_.adopt_contents(
+          *static_cast<const PadCache<std::uint64_t>*>(state));
   }
 
  private:

@@ -59,6 +59,15 @@ class PadCache {
     return nullptr;
   }
 
+  /// Copies another cache's residents (slot table, enabled flag) while
+  /// keeping this cache's own counter handles — the snapshot/fork path,
+  /// where the donor belongs to a different System whose counters are gone.
+  void adopt_contents(const PadCache& other) {
+    slots_ = other.slots_;
+    enabled_ = other.enabled_;
+    entries_ = other.entries_;
+  }
+
   /// Installs the pad for the nonce (no-op when disabled).
   void insert(std::uint64_t address, std::uint64_t version, const Pad& pad) {
     if (!enabled_) return;

@@ -126,6 +126,26 @@ void MeeEngine::count_walk(CoreId core, const WalkResult& walk,
                  .value = static_cast<std::int64_t>(walk.fetched_count)});
 }
 
+MeeEngine::State MeeEngine::export_state() const {
+  return State{.cache = cache_,
+               .root_counters = root_counters_,
+               .rng = rng_,
+               .busy_until = busy_until_,
+               .walks_since_rekey = walks_since_rekey_,
+               .cipher_pads = cipher_.export_pad_state(),
+               .mac_pads = mac_->export_pad_state()};
+}
+
+void MeeEngine::import_state(const State& state) {
+  cache_ = state.cache;
+  root_counters_ = state.root_counters;
+  rng_ = state.rng;
+  busy_until_ = state.busy_until;
+  walks_since_rekey_ = state.walks_since_rekey;
+  cipher_.import_pad_state(state.cipher_pads);
+  mac_->import_pad_state(state.mac_pads.get());
+}
+
 void MeeEngine::maybe_rekey() {
   const auto period = config_.cache_policy.rekey_period;
   if (period == 0) return;

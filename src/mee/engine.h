@@ -161,6 +161,23 @@ class MeeEngine {
   /// Current version counter of a data line (tests / diagnostics).
   std::uint64_t version_counter(PhysAddr data_addr) const;
 
+  /// Mutable engine state for snapshot/fork: MEE cache arrays (including
+  /// any rekeyed indexing key), on-die root counters, RNG stream,
+  /// occupancy horizon, rekey phase, and cipher/MAC pad-cache contents.
+  /// Tree-node contents live in the System's PhysicalMemory and are
+  /// captured there; obs counter handles stay with the engine.
+  struct State {
+    cache::SetAssocCache cache;
+    std::vector<std::uint64_t> root_counters;
+    Rng rng;
+    Cycles busy_until = 0;
+    std::uint64_t walks_since_rekey = 0;
+    crypto::PadCache<crypto::LineData> cipher_pads;
+    std::shared_ptr<const void> mac_pads;
+  };
+  State export_state() const;
+  void import_state(const State& state);
+
  private:
   struct WalkResult {
     StopLevel stop_level = Level::kRoot;

@@ -54,6 +54,18 @@ class Dram {
   const DramConfig& config() const { return config_; }
   std::uint64_t access_count() const { return accesses_; }
 
+  /// Mutable model state — the jitter/spike RNG stream position and the
+  /// access tally (snapshot/fork support; config is rebuilt, not captured).
+  struct State {
+    Rng rng;
+    std::uint64_t accesses = 0;
+  };
+  State state() const { return State{rng_, accesses_}; }
+  void restore(const State& state) {
+    rng_ = state.rng;
+    accesses_ = state.accesses;
+  }
+
  private:
   DramConfig config_;
   Rng rng_;

@@ -32,6 +32,12 @@ class EpcAllocator {
   std::uint64_t frames_remaining() const { return free_list_.size() - next_; }
   EpcPlacement placement() const { return placement_; }
 
+  /// Allocation cursor (snapshot/fork support). The free list itself is a
+  /// pure function of (map, placement, rng seed) and is rebuilt, so only
+  /// the position needs capturing.
+  std::size_t cursor() const { return next_; }
+  void restore_cursor(std::size_t cursor) { next_ = cursor; }
+
  private:
   EpcPlacement placement_;
   std::vector<PhysAddr> free_list_;
@@ -46,6 +52,10 @@ class GeneralAllocator {
 
   PhysAddr allocate_frame();
   std::uint64_t frames_remaining() const;
+
+  /// Bump cursor (snapshot/fork support).
+  PhysAddr cursor() const { return next_; }
+  void restore_cursor(PhysAddr cursor) { next_ = cursor; }
 
  private:
   PhysAddr next_;

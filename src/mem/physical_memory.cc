@@ -7,18 +7,24 @@
 namespace meecc::mem {
 
 Line PhysicalMemory::read_line(PhysAddr addr) const {
-  const auto it = lines_.find(addr.line_index());
-  if (it == lines_.end()) return Line{};  // zero-fill on first touch
-  return it->second;
+  const Line* line = find_line(addr);
+  if (line == nullptr) return Line{};  // zero-fill on first touch
+  return *line;
 }
 
 const Line* PhysicalMemory::find_line(PhysAddr addr) const {
-  const auto it = lines_.find(addr.line_index());
-  return it == lines_.end() ? nullptr : &it->second;
+  const auto index = addr.line_index();
+  if (const auto it = delta_.find(index); it != delta_.end())
+    return &it->second;
+  if (base_ != nullptr) {
+    if (const auto it = base_->find(index); it != base_->end())
+      return &it->second;
+  }
+  return nullptr;
 }
 
 void PhysicalMemory::write_line(PhysAddr addr, const Line& data) {
-  lines_[addr.line_index()] = data;
+  delta_[addr.line_index()] = data;
 }
 
 std::uint64_t PhysicalMemory::read_u64(PhysAddr addr) const {
@@ -49,6 +55,34 @@ void PhysicalMemory::write_bytes(PhysAddr addr,
   Line line = read_line(addr);
   std::memcpy(line.data() + addr.line_offset(), in.data(), in.size());
   write_line(addr, line);
+}
+
+std::size_t PhysicalMemory::resident_lines() const {
+  std::size_t n = delta_.size();
+  if (base_ != nullptr)
+    for (const auto& [index, line] : *base_)
+      if (delta_.find(index) == delta_.end()) ++n;
+  return n;
+}
+
+PhysicalMemory::Image PhysicalMemory::snapshot() {
+  if (!delta_.empty()) {
+    auto merged = base_ != nullptr
+                      ? std::make_shared<std::unordered_map<std::uint64_t, Line>>(
+                            *base_)
+                      : std::make_shared<std::unordered_map<std::uint64_t, Line>>();
+    for (auto& [index, line] : delta_) (*merged)[index] = line;
+    base_ = std::move(merged);
+    delta_.clear();
+  }
+  if (base_ == nullptr)
+    base_ = std::make_shared<std::unordered_map<std::uint64_t, Line>>();
+  return base_;
+}
+
+void PhysicalMemory::restore(Image image) {
+  base_ = std::move(image);
+  delta_.clear();
 }
 
 }  // namespace meecc::mem

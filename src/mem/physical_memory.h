@@ -1,9 +1,16 @@
 // Sparse, line-granular backing store for simulated DRAM (and, reused by the
 // MEE, for its on-die root SRAM). Unwritten lines read as zero.
+//
+// Storage is copy-on-write: an immutable shared base image plus a private
+// delta of lines written since. snapshot() flattens the delta into a new
+// base and hands out a shared reference — O(1) when nothing was written
+// since the last snapshot — so forking a multi-GB warm machine copies
+// pointers, not lines. Reads probe the delta first, then the base.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 
@@ -15,6 +22,9 @@ using Line = std::array<std::uint8_t, kLineSize>;
 
 class PhysicalMemory {
  public:
+  /// Immutable line image shared between snapshots and live instances.
+  using Image = std::shared_ptr<const std::unordered_map<std::uint64_t, Line>>;
+
   /// Reads the 64 B line containing `addr` (addr may be unaligned; the
   /// containing line is returned).
   Line read_line(PhysAddr addr) const;
@@ -35,10 +45,19 @@ class PhysicalMemory {
   void write_bytes(PhysAddr addr, std::span<const std::uint8_t> in);
 
   /// Number of lines that have ever been written (for tests / footprint).
-  std::size_t resident_lines() const { return lines_.size(); }
+  std::size_t resident_lines() const;
+
+  /// Flattens the delta into the base and returns the shared image. O(1)
+  /// when nothing was written since the previous snapshot()/restore().
+  Image snapshot();
+
+  /// Points this instance at `image`; subsequent writes land in a fresh
+  /// private delta, so restored siblings never alias each other's writes.
+  void restore(Image image);
 
  private:
-  std::unordered_map<std::uint64_t, Line> lines_;
+  Image base_;  // may be null (empty base)
+  std::unordered_map<std::uint64_t, Line> delta_;
 };
 
 }  // namespace meecc::mem

@@ -39,6 +39,17 @@ void Registry::reset() {
     for (auto& [name, value] : slots) value = 0;
 }
 
+Registry::State Registry::capture() const { return groups_; }
+
+void Registry::restore(const State& state) {
+  // Zero first: slots registered after the capture must not keep post-capture
+  // values, or a fork would double-count them.
+  reset();
+  for (const auto& [group, slots] : state)
+    for (const auto& [name, value] : slots)
+      groups_[group].insert_or_assign(name, value);
+}
+
 void merge_into(CounterSnapshot& dst, const CounterSnapshot& src) {
   CounterSnapshot out;
   out.reserve(dst.size() + src.size());

@@ -102,6 +102,22 @@ class Registry {
   /// setup so counters describe only the measured section.
   void reset();
 
+  /// Full value image keyed by (group, name) — the nested shape, not the
+  /// flattened dotted names, because "a.b"."c" and "a"."b.c" flatten to the
+  /// same string and could not be split back apart.
+  using State = std::map<
+      std::string, std::map<std::string, std::uint64_t, std::less<>>,
+      std::less<>>;
+
+  /// Copies every slot's current value (snapshot/fork support).
+  State capture() const;
+
+  /// Writes `state` back into the slots, creating any missing ones so
+  /// lazily-bound counters (per-core stop levels, channel send/probe) are
+  /// restored even before their component re-binds them. Slots absent from
+  /// `state` are zeroed. Existing handles stay valid.
+  void restore(const State& state);
+
  private:
   // Node-based nested maps: value slots never move, so Counter handles
   // survive later registrations.

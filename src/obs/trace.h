@@ -7,8 +7,8 @@
 // emitted from hot paths and never copy strings.
 //
 // Sinks are synchronous and single-threaded by contract: a sink is only
-// ever fed by the one trial running on the current thread (the runner
-// forces --jobs 1 when tracing a sweep).
+// ever fed by one thread at a time (the runner buffers per-trial events
+// and replays them in trial order when tracing a parallel sweep).
 #pragma once
 
 #include <cstdint>

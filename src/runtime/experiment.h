@@ -77,6 +77,14 @@ struct Experiment {
   /// replaces the default axis.
   std::vector<std::pair<std::string, std::string>> default_sweeps;
   std::function<TrialResult(const TrialSpec&)> run;
+  /// Optional snapshot/fork support: maps a trial to the key naming the
+  /// warm setup state it can share — by convention the experiment name,
+  /// the seed, and every machine/setup-affecting param (measure-phase
+  /// params excluded, so trials differing only there share one setup).
+  /// When set, the runner installs a sweep-wide SetupCache reachable via
+  /// runtime::TrialContext and run() fetches states with memoized_setup()
+  /// under keys prefixed by setup_key(spec). Null = no sharing.
+  std::function<std::string(const TrialSpec&)> setup_key = nullptr;
 };
 
 }  // namespace meecc::runtime

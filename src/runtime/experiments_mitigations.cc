@@ -20,9 +20,11 @@
 #include "channel/mitigation.h"
 #include "channel/testbed.h"
 #include "common/check.h"
+#include "obs/scope.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
 #include "runtime/registry.h"
+#include "runtime/setup_cache.h"
 
 namespace meecc::runtime {
 
@@ -45,27 +47,79 @@ struct ChannelOutcome {
   std::uint64_t rekeys = 0;
 };
 
-/// End-to-end attack attempt (Algorithm 1 + discovery + Algorithm 2) on a
-/// fresh bed built from `spec` with `seed`.
+/// Warm channel state at the quiesce boundary between setup and transfer:
+/// everything Algorithm 1 + monitor discovery produced, shareable across
+/// every trial that differs only in measure-phase parameters (payload
+/// bits). Setup failure is part of the state — sharing trials replay the
+/// blocked outcome without re-running Algorithm 1.
+struct ChannelWarmState {
+  channel::TestBedSnapshot bed;
+  channel::ChannelSetup setup;
+  bool setup_ok = false;
+};
+
+/// The key naming the warm state a trial at `seed` can share: machine seed
+/// plus every shared-config param (measure-phase locals like "bits" are
+/// deliberately excluded).
+std::string warm_key_for(const TrialSpec& spec, std::uint64_t seed) {
+  std::string key = "mitigation-setup|seed=" + std::to_string(seed);
+  for (const auto& [param, value] : spec.params)
+    if (is_config_key(param)) key += '|' + param + '=' + value;
+  return key;
+}
+
+/// Builds a bed from `config`, runs channel setup (Algorithm 1 + beacon
+/// discovery), and captures the bed at the quiesce boundary. Runs under a
+/// detached TrialScope so the donor machine's counters/traces belong to no
+/// single trial — forks restore the snapshot's counter baseline instead.
+std::shared_ptr<const ChannelWarmState> warm_channel_setup(
+    const channel::TestBedConfig& config) {
+  obs::TrialScope shield(nullptr);
+  channel::TestBed bed(config);
+  channel::ChannelSetup setup;
+  bool setup_ok = false;
+  try {
+    setup = channel::setup_covert_channel(bed, channel::ChannelConfig{});
+    setup_ok = true;
+  } catch (const CheckFailure&) {
+    // Algorithm 1 / monitor discovery could not establish the channel
+    // under this policy — exactly the mitigation succeeding. Snapshot the
+    // bed anyway so the failure (and its counters) replays cheaply.
+  }
+  bed.quiesce_environment();
+  return std::make_shared<const ChannelWarmState>(ChannelWarmState{
+      .bed = bed.snapshot(), .setup = setup, .setup_ok = setup_ok});
+}
+
+/// End-to-end attack attempt (Algorithm 1 + discovery + Algorithm 2) for
+/// `spec` with `seed`. The setup phase is fetched through the memoized warm
+/// state and the measure phase ALWAYS runs on a fork — with or without an
+/// ambient SetupCache the execution path is identical, so snapshot reuse
+/// cannot change results.
 ChannelOutcome attempt_channel(const TrialSpec& spec, std::uint64_t seed,
                                const std::vector<std::uint8_t>& payload) {
   channel::TestBedConfig config = make_testbed_config(spec);
   config.system.seed = seed;
-  channel::TestBed bed(config);
+  const auto warm = memoized_setup<ChannelWarmState>(
+      warm_key_for(spec, seed), [&] { return warm_channel_setup(config); });
+  channel::TestBed bed(config, warm->bed);
   ChannelOutcome outcome;
-  try {
-    const auto result =
-        channel::run_covert_channel(bed, channel::ChannelConfig{}, payload);
-    outcome.setup_ok = true;
-    outcome.eviction_set_size = result.eviction.associativity();
-    outcome.error_rate = result.error_rate;
-    outcome.raw_kbps = result.kilobytes_per_second;
-    const double p = std::min(result.error_rate, 0.5);
-    outcome.capacity_kbps = result.kilobytes_per_second *
-                            (1.0 - binary_entropy(p));
-  } catch (const CheckFailure&) {
-    // Algorithm 1 / monitor discovery could not establish the channel
-    // under this policy — exactly the mitigation succeeding.
+  if (warm->setup_ok) {
+    try {
+      // Deferred noise arrives once the channel is live (Fig. 8 scenario).
+      bed.start_noise();
+      const auto result = channel::transfer_covert_channel(
+          bed, channel::ChannelConfig{}, payload, warm->setup);
+      outcome.setup_ok = true;
+      outcome.eviction_set_size = result.eviction.associativity();
+      outcome.error_rate = result.error_rate;
+      outcome.raw_kbps = result.kilobytes_per_second;
+      const double p = std::min(result.error_rate, 0.5);
+      outcome.capacity_kbps =
+          result.kilobytes_per_second * (1.0 - binary_entropy(p));
+    } catch (const CheckFailure&) {
+      // Transfer collapsed under this policy; report as a failed attempt.
+    }
   }
   outcome.rekeys = bed.system().mee().rekeys();
   return outcome;
@@ -149,7 +203,10 @@ void register_mitigation_experiments() {
                           {"legit_bytes", "262144"},
                           {"legit_samples", "3000"}},
        .default_sweeps = {{"mee.cache.indexing", "modulo,keyed"}},
-       .run = run_mitigation_channel});
+       .run = run_mitigation_channel,
+       .setup_key = [](const TrialSpec& spec) {
+         return warm_key_for(spec, spec.seed);
+       }});
   register_experiment(
       {.name = "mitigation_rekey",
        .description = "periodic MEE-cache flush+rekey: channel degradation "
@@ -161,7 +218,10 @@ void register_mitigation_experiments() {
                           {"legit_bytes", "262144"},
                           {"legit_samples", "3000"}},
        .default_sweeps = {{"mee.cache.rekey_period", "0,20000,5000,1000"}},
-       .run = run_mitigation_channel});
+       .run = run_mitigation_channel,
+       .setup_key = [](const TrialSpec& spec) {
+         return warm_key_for(spec, spec.seed);
+       }});
 }
 
 }  // namespace meecc::runtime

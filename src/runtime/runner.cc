@@ -2,22 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "obs/scope.h"
+#include "runtime/setup_cache.h"
 
 namespace meecc::runtime {
 
 namespace {
 
+/// Per-trial trace buffer: holds one trial's events until the runner
+/// replays them into the real sink in trial order. TraceEvent string
+/// fields point at static storage by contract, so buffering is safe.
+class BufferSink : public obs::TraceSink {
+ public:
+  void emit(const obs::TraceEvent& event) override { events_.push_back(event); }
+  void replay_into(obs::TraceSink& sink) const {
+    for (const auto& event : events_) sink.emit(event);
+  }
+
+ private:
+  std::vector<obs::TraceEvent> events_;
+};
+
 TrialRecord run_one(const Experiment& experiment, const TrialSpec& spec,
-                    obs::TraceSink* trace_sink) {
+                    obs::TraceSink* trace_sink, SetupCache* setup_cache) {
   TrialRecord record;
   record.spec = spec;
-  // Ambient scope: every System the trial constructs inherits the trace
-  // sink and deposits its counters here on destruction (including during
-  // unwinding when the trial throws).
+  // Ambient contexts: every System the trial constructs inherits the trace
+  // sink and deposits its counters into the scope on destruction
+  // (including during unwinding when the trial throws), and
+  // memoized_setup() calls inside run() reach the sweep's SetupCache.
+  TrialContext context(setup_cache);
   obs::TrialScope scope(trace_sink);
   try {
     record.result = experiment.run(spec);
@@ -35,14 +53,26 @@ TrialRecord run_one(const Experiment& experiment, const TrialSpec& spec,
 
 std::vector<TrialRecord> run_trials(const Experiment& experiment,
                                     const std::vector<TrialSpec>& trials,
-                                    const RunnerConfig& config) {
+                                    const RunnerConfig& config,
+                                    SetupStats* stats) {
   std::vector<TrialRecord> records(trials.size());
 
   unsigned jobs = config.jobs ? config.jobs : std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 1;
   jobs = static_cast<unsigned>(
       std::min<std::size_t>(jobs, std::max<std::size_t>(trials.size(), 1)));
-  if (config.trace_sink != nullptr) jobs = 1;  // sinks are single-threaded
+
+  // Sinks are single-threaded; parallel traced sweeps write each trial's
+  // events into a private buffer and replay them in trial order below.
+  const bool buffer_traces = config.trace_sink != nullptr && jobs > 1;
+  std::vector<BufferSink> buffers(buffer_traces ? trials.size() : 0);
+
+  // Setup reuse is off while tracing: setup-phase events would fire once
+  // per shared state instead of once per trial, breaking trace diffs.
+  const bool reuse =
+      config.reuse_setup && experiment.setup_key && config.trace_sink == nullptr;
+  SetupCache setup_cache;
+  SetupCache* cache_ptr = reuse ? &setup_cache : nullptr;
 
   std::mutex callback_mutex;
   std::atomic<std::size_t> next{0};
@@ -50,7 +80,9 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= trials.size()) return;
-      records[i] = run_one(experiment, trials[i], config.trace_sink);
+      obs::TraceSink* sink =
+          buffer_traces ? &buffers[i] : config.trace_sink;
+      records[i] = run_one(experiment, trials[i], sink, cache_ptr);
       if (config.on_trial) {
         const std::lock_guard<std::mutex> lock(callback_mutex);
         config.on_trial(records[i]);
@@ -60,12 +92,16 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
 
   if (jobs <= 1) {
     worker();
-    return records;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+    if (buffer_traces)
+      for (const auto& buffer : buffers) buffer.replay_into(*config.trace_sink);
   }
-  std::vector<std::thread> pool;
-  pool.reserve(jobs);
-  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+  if (stats != nullptr)
+    *stats = SetupStats{.hits = setup_cache.hits(), .misses = setup_cache.misses()};
   return records;
 }
 

@@ -6,6 +6,7 @@
 // — output is bit-identical at any job count.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,17 +34,32 @@ struct RunnerConfig {
   /// Completion callback (progress reporting). Called from worker threads
   /// under an internal mutex, in completion order — NOT trial order.
   std::function<void(const TrialRecord&)> on_trial;
-  /// Borrowed trace sink handed to every trial's TrialScope. Sinks are
-  /// single-threaded by contract, so callers MUST pair this with jobs=1
-  /// (the runner enforces it).
+  /// Borrowed trace sink. Sinks are single-threaded by contract; with
+  /// jobs > 1 the runner buffers each trial's events and replays every
+  /// buffer into the sink in trial order after the pool joins, so traced
+  /// sweeps parallelize and the output is byte-identical to jobs=1.
   obs::TraceSink* trace_sink = nullptr;
+  /// Reuse warm setup state across trials sharing an Experiment::setup_key
+  /// (snapshot/fork execution). Ignored for experiments without a
+  /// setup_key, and disabled automatically while tracing: setup-phase
+  /// trace events fire once per shared state, not once per trial, so a
+  /// reused --trace run would not diff clean against a fresh one.
+  bool reuse_setup = true;
+};
+
+/// Sweep-wide setup-reuse statistics (zeros when reuse was off).
+struct SetupStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
 };
 
 /// Runs every trial through experiment.run. A throwing trial is recorded
 /// (ok=false, error=what()) without aborting the sweep. The returned vector
-/// is in trial order regardless of completion order.
+/// is in trial order regardless of completion order. `stats`, when
+/// non-null, receives the sweep's setup-cache hit/miss counts.
 std::vector<TrialRecord> run_trials(const Experiment& experiment,
                                     const std::vector<TrialSpec>& trials,
-                                    const RunnerConfig& config);
+                                    const RunnerConfig& config,
+                                    SetupStats* stats = nullptr);
 
 }  // namespace meecc::runtime

@@ -1,0 +1,66 @@
+#include "runtime/setup_cache.h"
+
+#include "obs/scope.h"
+
+namespace meecc::runtime {
+
+std::shared_ptr<const void> SetupCache::get_or_build(const std::string& key,
+                                                     const Builder& builder) {
+  std::promise<std::shared_ptr<const void>> promise;
+  std::shared_future<std::shared_ptr<const void>> future;
+  bool build_here = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      build_here = true;
+      ++misses_;
+    } else {
+      future = it->second;
+      ++hits_;
+    }
+  }
+  if (build_here) {
+    try {
+      // Shield scope: the setup machine's counters and traces belong to no
+      // single trial.
+      obs::TrialScope shield(nullptr);
+      promise.set_value(builder());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();  // rethrows a builder failure to every sharing trial
+}
+
+std::size_t SetupCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t SetupCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SetupCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+namespace {
+thread_local TrialContext* g_current_context = nullptr;
+}  // namespace
+
+TrialContext::TrialContext(SetupCache* cache)
+    : previous_(g_current_context), cache_(cache) {
+  g_current_context = this;
+}
+
+TrialContext::~TrialContext() { g_current_context = previous_; }
+
+TrialContext* TrialContext::current() { return g_current_context; }
+
+}  // namespace meecc::runtime

@@ -1,0 +1,86 @@
+// Memoized warm-state store for snapshot/fork trial execution.
+//
+// Sweeps repeat an expensive setup phase (Algorithm 1 eviction-set build,
+// monitor discovery) for every trial even when only measure-phase
+// parameters differ. The runner installs one SetupCache per sweep; trials
+// whose Experiment::setup_key agree share a single warm state, built once
+// and forked per trial. States are type-erased shared_ptrs — each
+// experiment family defines its own warm-state struct (a TestBedSnapshot
+// plus whatever setup artifacts it needs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace meecc::runtime {
+
+/// Thread-safe store of type-erased warm setup states keyed by setup key.
+/// When trials race on one key, the first runs the builder and the rest
+/// block on a shared future — a setup is never built twice.
+class SetupCache {
+ public:
+  using Builder = std::function<std::shared_ptr<const void>()>;
+
+  /// Returns the state for `key`, running `builder` (at most once per key)
+  /// to produce it. The builder runs under a detached obs::TrialScope so
+  /// the setup machine's counters don't leak into whichever trial happened
+  /// to build first — forked Systems restore the snapshot's counter
+  /// baseline instead, keeping per-trial totals identical to fresh runs.
+  /// A throwing builder propagates to every sharing trial (not retried).
+  std::shared_ptr<const void> get_or_build(const std::string& key,
+                                           const Builder& builder);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_future<std::shared_ptr<const void>>>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Per-trial runtime context, installed (thread-local) by the runner around
+/// experiment.run. Experiments reach the sweep-wide SetupCache through it;
+/// no context (unit tests, direct run() calls) means "build fresh".
+class TrialContext {
+ public:
+  explicit TrialContext(SetupCache* cache);
+  ~TrialContext();
+
+  TrialContext(const TrialContext&) = delete;
+  TrialContext& operator=(const TrialContext&) = delete;
+
+  /// Innermost context on this thread, or nullptr.
+  static TrialContext* current();
+
+  SetupCache* setup_cache() const { return cache_; }
+
+ private:
+  TrialContext* previous_;
+  SetupCache* cache_;
+};
+
+/// Typed front door: the memoized state for `key`, built with `builder` on
+/// first use. Without an ambient cache the builder runs directly and
+/// nothing is stored, so experiment code is identical in both modes.
+template <typename T>
+std::shared_ptr<const T> memoized_setup(
+    const std::string& key,
+    const std::function<std::shared_ptr<const T>()>& builder) {
+  TrialContext* context = TrialContext::current();
+  if (context == nullptr || context->setup_cache() == nullptr)
+    return builder();
+  auto erased = context->setup_cache()->get_or_build(
+      key, [&]() -> std::shared_ptr<const void> { return builder(); });
+  return std::static_pointer_cast<const T>(erased);
+}
+
+}  // namespace meecc::runtime

@@ -1,5 +1,7 @@
 #include "sim/des.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace meecc::sim {
@@ -34,7 +36,7 @@ void Scheduler::set_hub(obs::Hub* hub) {
   dispatched_ = group.counter("dispatched");
 }
 
-void Scheduler::spawn(Process process, Cycles start) {
+ProcessHandle Scheduler::spawn(Process process, Cycles start) {
   MEECC_CHECK(process.handle_);
   auto handle = process.handle_;
   process.handle_ = nullptr;  // ownership moves to the scheduler
@@ -43,6 +45,42 @@ void Scheduler::spawn(Process process, Cycles start) {
   owned_.push_back(handle);
   spawned_.inc();
   enqueue(handle, start);
+  return ProcessHandle{handle};
+}
+
+bool Scheduler::cancel(ProcessHandle handle) {
+  const auto target = handle.handle_;
+  if (!target) return false;
+  // Staleness check by address only — a stale handle's frame is destroyed,
+  // so its promise must not be read. O(live agents), which is tiny (the
+  // only cancel site is the environment-agent quiesce).
+  const auto it = std::find(owned_.begin(), owned_.end(), target);
+  if (it == owned_.end()) return false;
+  const auto index = static_cast<std::size_t>(it - owned_.begin());
+  for (const auto finished : finished_)
+    MEECC_CHECK_MSG(finished != target, "cancel of an agent mid-completion");
+  // Drain the queue, dropping this agent's pending events; survivors keep
+  // their original sequence numbers (re-pushing does not consume seq_).
+  std::vector<Event> survivors;
+  survivors.reserve(queue_.size());
+  while (!queue_.empty()) {
+    if (queue_.top().handle.address() != target.address())
+      survivors.push_back(queue_.top());
+    queue_.pop();
+  }
+  for (const Event& event : survivors) queue_.push(event);
+  owned_[index] = owned_.back();
+  owned_[index].promise().owned_index = index;
+  owned_.pop_back();
+  target.destroy();
+  return true;
+}
+
+void Scheduler::restore_clock(Cycles now, std::uint64_t seq) {
+  MEECC_CHECK_MSG(queue_.empty() && owned_.empty() && finished_.empty(),
+                  "restore_clock needs a quiesced scheduler");
+  now_ = now;
+  seq_ = seq;
 }
 
 void Scheduler::enqueue(std::coroutine_handle<> handle, Cycles when) {
@@ -73,6 +111,9 @@ void Scheduler::reap_finished() {
 void Scheduler::dispatch(const Event& event) {
   now_ = event.when;
   dispatched_.inc();
+  // Child Task frames created while the agent runs allocate (and freed
+  // frames recycle) through this scheduler's arena.
+  FrameArena::Scope scope(&arena_);
   event.handle.resume();
   if (!finished_.empty()) reap_finished();
 }

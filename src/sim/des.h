@@ -24,16 +24,28 @@
 
 #include "common/types.h"
 #include "obs/hub.h"
+#include "sim/frame_arena.h"
 
 namespace meecc::sim {
 
 class Scheduler;
 
 /// State shared by every simulation promise type: the stored exception and
-/// (for awaited Tasks) the coroutine to resume on completion.
+/// (for awaited Tasks) the coroutine to resume on completion. The
+/// allocation operators route every Process/Task coroutine frame through
+/// the thread-local ambient FrameArena (heap fallback when none is
+/// installed) — Scheduler::dispatch installs its own arena around each
+/// resume, so frames spawned mid-simulation recycle instead of malloc'ing.
 struct PromiseBase {
   std::exception_ptr exception;
   std::coroutine_handle<> continuation;
+
+  static void* operator new(std::size_t size) {
+    return FrameArena::allocate_ambient(size);
+  }
+  static void operator delete(void* ptr) noexcept {
+    FrameArena::deallocate(ptr);
+  }
 };
 
 /// Top-level agent coroutine. Fire-and-forget: ownership transfers to the
@@ -176,6 +188,23 @@ class [[nodiscard]] Task<void> {
   std::coroutine_handle<promise_type> handle_;
 };
 
+/// Opaque reference to a spawned top-level agent, returned by spawn() and
+/// accepted by cancel(). Becomes stale once the agent finishes or is
+/// cancelled; cancel() detects staleness (by address, so a recycled frame
+/// at the same address could in principle alias — don't hold handles
+/// across unrelated spawns) and refuses.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+
+ private:
+  friend class Scheduler;
+  explicit ProcessHandle(std::coroutine_handle<Process::promise_type> handle)
+      : handle_(handle) {}
+
+  std::coroutine_handle<Process::promise_type> handle_;
+};
+
 class Scheduler {
  public:
   Scheduler() = default;
@@ -183,8 +212,18 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
   ~Scheduler();
 
-  /// Takes ownership of the coroutine and schedules its first step at `start`.
-  void spawn(Process process, Cycles start = 0);
+  /// Takes ownership of the coroutine and schedules its first step at
+  /// `start`; the returned handle can cancel the agent later.
+  ProcessHandle spawn(Process process, Cycles start = 0);
+
+  /// Destroys a live agent and removes its pending events from the queue
+  /// (remaining events keep their sequence numbers, so sibling ordering is
+  /// unchanged and no new sequence numbers are consumed). Returns false for
+  /// a stale handle (agent already finished or cancelled). Only safe for
+  /// agents parked in the scheduler itself — i.e. not mid-await inside a
+  /// child Task — which holds for every agent suspended on a memory-op or
+  /// sleep awaitable at its top level.
+  bool cancel(ProcessHandle handle);
 
   /// Re-arms `handle` (any simulation coroutine) to resume once `when`
   /// becomes the global minimum. Called by awaitables, not user code.
@@ -215,6 +254,20 @@ class Scheduler {
   /// reclaimed after the dispatch in which they complete).
   std::size_t live_processes() const { return owned_.size(); }
 
+  /// Next event sequence number — snapshot/fork captures it so a restored
+  /// scheduler hands out the same tie-break order as the original.
+  std::uint64_t event_seq() const { return seq_; }
+
+  /// Rewinds/forwards the clock and sequence counter onto a snapshot's
+  /// values. Only legal on a quiesced scheduler (no events, no agents):
+  /// anything still queued would fire against the wrong timeline.
+  void restore_clock(Cycles now, std::uint64_t seq);
+
+  /// The arena backing this scheduler's coroutine frames. dispatch()
+  /// installs it around every resume; spawn sites install it explicitly
+  /// (FrameArena::Scope) so the initial frames land there too.
+  FrameArena& arena() { return arena_; }
+
  private:
   friend struct Process::promise_type::FinalNotify;
   struct Event {
@@ -242,6 +295,10 @@ class Scheduler {
   /// agents were ever spawned.
   void reap_finished();
 
+  /// Declared first so it outlives everything else during destruction; the
+  /// destructor body destroys the owned coroutine frames, which return
+  /// their blocks here.
+  FrameArena arena_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<std::coroutine_handle<Process::promise_type>> owned_;
   std::vector<std::coroutine_handle<Process::promise_type>> finished_;

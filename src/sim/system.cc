@@ -166,6 +166,42 @@ Cycles System::do_clflush(const mem::VirtualAddressSpace& vas, VirtAddr addr) {
   return latency;
 }
 
+SystemSnapshot System::snapshot() {
+  MEECC_CHECK_MSG(scheduler_.idle() && scheduler_.live_processes() == 0,
+                  "snapshot needs a quiesced scheduler");
+  return SystemSnapshot{.memory = memory_.snapshot(),
+                        .dram = dram_.state(),
+                        .hierarchy = hierarchy_.export_state(),
+                        .mee = mee_->export_state(),
+                        .peek_pads = peek_cipher_.export_pad_state(),
+                        .epc_cursor = epc_allocator_.cursor(),
+                        .general_cursor = general_allocator_.cursor(),
+                        .rng = rng_,
+                        .sched_now = scheduler_.now(),
+                        .sched_seq = scheduler_.event_seq(),
+                        .counters = hub_.registry().capture()};
+}
+
+void System::restore(const SystemSnapshot& snap) {
+  memory_.restore(snap.memory);
+  dram_.restore(snap.dram);
+  hierarchy_.import_state(snap.hierarchy);
+  mee_->import_state(snap.mee);
+  peek_cipher_.import_pad_state(snap.peek_pads);
+  epc_allocator_.restore_cursor(snap.epc_cursor);
+  general_allocator_.restore_cursor(snap.general_cursor);
+  rng_ = snap.rng;
+  scheduler_.restore_clock(snap.sched_now, snap.sched_seq);
+  hub_.registry().restore(snap.counters);
+}
+
+std::unique_ptr<System> System::fork(const SystemConfig& config,
+                                     const SystemSnapshot& snap) {
+  auto system = std::make_unique<System>(config);
+  system->restore(snap);
+  return system;
+}
+
 double System::bytes_per_second(double bits_per_cycle) const {
   return bits_per_cycle * config_.clock_ghz * 1e9 / 8.0;
 }

@@ -47,6 +47,27 @@ class ModeViolation : public std::logic_error {
   explicit ModeViolation(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Full mutable machine state at a quiesce point: DRAM lines (shared
+/// copy-on-write image, not a copy), cache arrays + PLRU bits, MEE state
+/// (root counters, pad caches, occupancy, rekey phase), allocator cursors,
+/// RNG streams, scheduler clock, and the counter baseline. Everything a
+/// freshly built System with the same config needs to become observationally
+/// identical to the donor. Cheap to hold and to fork from: the dominant
+/// payload (DRAM) is a shared pointer.
+struct SystemSnapshot {
+  mem::PhysicalMemory::Image memory;
+  mem::Dram::State dram;
+  cache::Hierarchy::State hierarchy;
+  mee::MeeEngine::State mee;
+  crypto::PadCache<crypto::LineData> peek_pads;
+  std::size_t epc_cursor = 0;
+  PhysAddr general_cursor{};
+  Rng rng;
+  Cycles sched_now = 0;
+  std::uint64_t sched_seq = 0;
+  obs::Registry::State counters;
+};
+
 class System {
  public:
   explicit System(const SystemConfig& config);
@@ -88,6 +109,24 @@ class System {
 
   /// Independent RNG stream for an agent.
   Rng fork_rng() { return rng_.fork(); }
+
+  /// Captures the machine's full mutable state. The caller must have
+  /// quiesced the scheduler first (no pending events, no live agents) —
+  /// parked coroutine frames cannot be serialized. Non-const because the
+  /// DRAM delta is flattened into the shared image (O(1) when clean).
+  SystemSnapshot snapshot();
+
+  /// Overwrites this machine's state with a snapshot taken from a System
+  /// built with an identical config. The scheduler must be quiesced.
+  /// Counter handles, trace sinks, and policy bindings stay this
+  /// machine's own.
+  void restore(const SystemSnapshot& snap);
+
+  /// Builds a fresh machine from `config` and restores `snap` onto it —
+  /// the snapshot/fork layer's single-call entry point. O(touched-state):
+  /// construction cost plus pointer-shared DRAM.
+  static std::unique_ptr<System> fork(const SystemConfig& config,
+                                      const SystemSnapshot& snap);
 
   double bytes_per_second(double bits_per_cycle) const;
 

@@ -1,0 +1,408 @@
+// Snapshot/fork trial execution: fork-vs-fresh equivalence, fork
+// independence, RNG fork-order replay, scheduler cancel semantics, the
+// coroutine frame arena, and the runner's setup cache + buffered tracing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "channel/covert_channel.h"
+#include "channel/testbed.h"
+#include "common/rng.h"
+#include "obs/counters.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
+#include "runtime/experiment.h"
+#include "runtime/runner.h"
+#include "runtime/setup_cache.h"
+#include "sim/des.h"
+#include "sim/frame_arena.h"
+#include "sim/system.h"
+
+namespace meecc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// System-level fork: RNG stream replay.
+
+TEST(SystemFork, ReplaysRngForkOrder) {
+  sim::SystemConfig config;
+  config.seed = 7;
+  sim::System original(config);
+  const sim::SystemSnapshot snap = original.snapshot();
+  auto forked = sim::System::fork(config, snap);
+
+  // Every subsequent per-agent stream must come out identical, in order:
+  // a fork that consumed extra draws during construction would diverge on
+  // the first stream, one that desynchronized later on a later stream.
+  for (int stream = 0; stream < 4; ++stream) {
+    Rng a = original.fork_rng();
+    Rng b = forked->fork_rng();
+    for (int draw = 0; draw < 8; ++draw)
+      EXPECT_EQ(a.next_u64(), b.next_u64())
+          << "stream " << stream << " draw " << draw;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry capture/restore.
+
+TEST(RegistryState, RestoreRewindsPostCaptureActivity) {
+  obs::Registry registry;
+  obs::Counter early = registry.counter("test", "early");
+  early.inc(2);
+  const obs::Registry::State state = registry.capture();
+
+  obs::Counter late = registry.counter("test", "late");
+  late.inc(5);
+  early.inc();
+
+  registry.restore(state);
+  EXPECT_EQ(early.value(), 2u);
+  // A slot registered after the capture is zeroed, not left dangling at its
+  // pre-restore value — otherwise a forked machine would inherit counts
+  // from whichever trial happened to run on the donor registry first.
+  EXPECT_EQ(late.value(), 0u);
+  EXPECT_EQ(obs::snapshot_value(registry.snapshot(), "test.early"), 2u);
+  EXPECT_EQ(obs::snapshot_value(registry.snapshot(), "test.late"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FrameArena.
+
+TEST(FrameArena, AmbientScopeRecyclesBlocks) {
+  sim::FrameArena arena;
+  {
+    sim::FrameArena::Scope scope(&arena);
+    void* first = sim::FrameArena::allocate_ambient(64);
+    ASSERT_NE(first, nullptr);
+    EXPECT_GT(arena.bytes_reserved(), 0u);
+    EXPECT_EQ(arena.free_blocks(), 0u);
+
+    sim::FrameArena::deallocate(first);
+    EXPECT_EQ(arena.free_blocks(), 1u);
+
+    // Same size class -> the freed block is handed straight back.
+    void* second = sim::FrameArena::allocate_ambient(64);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(arena.free_blocks(), 0u);
+
+    // Oversize blocks bypass the arena even with a scope installed.
+    void* big = sim::FrameArena::allocate_ambient(64 * 1024);
+    ASSERT_NE(big, nullptr);
+    sim::FrameArena::deallocate(big);
+    EXPECT_EQ(arena.free_blocks(), 0u);
+
+    sim::FrameArena::deallocate(second);
+    EXPECT_EQ(arena.free_blocks(), 1u);
+  }
+  arena.reset();
+  EXPECT_EQ(arena.free_blocks(), 0u);
+
+  // No ambient arena: plain heap round-trip through the same entry points.
+  void* heap_block = sim::FrameArena::allocate_ambient(128);
+  ASSERT_NE(heap_block, nullptr);
+  sim::FrameArena::deallocate(heap_block);
+}
+
+sim::Process ticker(sim::Scheduler& sched, int& ticks, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    co_await sim::WakeAt{sched, sched.now() + 10};
+    ++ticks;
+  }
+}
+
+TEST(FrameArena, SchedulerFramesLandInItsArena) {
+  sim::Scheduler sched;
+  int ticks = 0;
+  {
+    sim::FrameArena::Scope scope(&sched.arena());
+    sched.spawn(ticker(sched, ticks, 3));
+  }
+  EXPECT_GT(sched.arena().bytes_reserved(), 0u);
+  sched.run_to_completion();
+  EXPECT_EQ(ticks, 3);
+  // The finished agent's frame was parked for reuse, not returned to malloc.
+  EXPECT_GT(sched.arena().free_blocks(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler cancel.
+
+TEST(SchedulerCancel, RemovesAgentAndPreservesSiblings) {
+  sim::Scheduler sched;
+  int cancelled_ticks = 0;
+  int surviving_ticks = 0;
+  sim::ProcessHandle doomed = sched.spawn(ticker(sched, cancelled_ticks, 100));
+  sched.spawn(ticker(sched, surviving_ticks, 5));
+  EXPECT_EQ(sched.live_processes(), 2u);
+
+  EXPECT_TRUE(sched.cancel(doomed));
+  EXPECT_FALSE(sched.cancel(doomed));  // stale handle is refused
+  EXPECT_EQ(sched.live_processes(), 1u);
+
+  sched.run_to_completion();
+  EXPECT_EQ(cancelled_ticks, 0);  // its queued events were drained too
+  EXPECT_EQ(surviving_ticks, 5);
+  EXPECT_EQ(sched.live_processes(), 0u);
+  EXPECT_TRUE(sched.idle());
+}
+
+TEST(SchedulerCancel, StaleAfterCompletionIsRefused) {
+  sim::Scheduler sched;
+  int ticks = 0;
+  sim::ProcessHandle handle = sched.spawn(ticker(sched, ticks, 1));
+  sched.run_to_completion();
+  EXPECT_EQ(ticks, 1);
+  EXPECT_FALSE(sched.cancel(handle));
+  EXPECT_FALSE(sched.cancel(sim::ProcessHandle{}));  // null handle
+}
+
+// ---------------------------------------------------------------------------
+// TestBed fork: observational equivalence and independence.
+
+TEST(TestBedFork, MatchesFreshExecution) {
+  channel::TestBedConfig config = channel::default_testbed_config(1234);
+  config.noise = channel::NoiseEnv::kMeeStride512;
+  config.noise_autostart = false;
+  const channel::ChannelConfig channel_config;
+  const auto payload = channel::alternating_bits(12);
+
+  // Donor: warm up (Algorithm 1 + monitor discovery), snapshot at the
+  // quiesce boundary, then keep running as the "fresh" reference.
+  channel::TestBed donor(config);
+  const channel::ChannelSetup setup =
+      channel::setup_covert_channel(donor, channel_config);
+  ASSERT_TRUE(setup.monitor_found);
+  donor.quiesce_environment();
+  const channel::TestBedSnapshot snap = donor.snapshot();
+  donor.respawn_environment();
+
+  obs::CollectingSink fresh_sink;
+  donor.system().hub().set_trace_sink(&fresh_sink);
+  donor.start_noise();
+  const channel::ChannelResult fresh =
+      channel::transfer_covert_channel(donor, channel_config, payload, setup);
+  donor.system().hub().set_trace_sink(nullptr);
+  const obs::CounterSnapshot fresh_counters =
+      donor.system().hub().registry().snapshot();
+
+  // Fork: a new bed materialized from the snapshot runs the identical
+  // measure phase.
+  channel::TestBed forked(config, snap);
+  obs::CollectingSink fork_sink;
+  forked.system().hub().set_trace_sink(&fork_sink);
+  forked.start_noise();
+  const channel::ChannelResult replay =
+      channel::transfer_covert_channel(forked, channel_config, payload, setup);
+  forked.system().hub().set_trace_sink(nullptr);
+  const obs::CounterSnapshot fork_counters =
+      forked.system().hub().registry().snapshot();
+
+  // Byte-identical golden trace: every cycle, address, and outcome.
+  EXPECT_EQ(fresh_sink.events().size(), fork_sink.events().size());
+  EXPECT_EQ(fresh_sink.events(), fork_sink.events());
+  EXPECT_EQ(fresh.received, replay.received);
+  EXPECT_EQ(fresh.bit_errors, replay.bit_errors);
+  EXPECT_EQ(fresh.probe_times, replay.probe_times);
+  EXPECT_EQ(fresh.transfer_cycles, replay.transfer_cycles);
+  // Equal counter totals: the fork restored the donor's baseline, so both
+  // machines tell the same setup + measure story.
+  EXPECT_EQ(fresh_counters, fork_counters);
+}
+
+TEST(TestBedFork, ForksFromOneSnapshotAreIndependent) {
+  const channel::TestBedConfig config = channel::default_testbed_config(2026);
+  const channel::ChannelConfig channel_config;
+  const auto payload = channel::alternating_bits(12);
+
+  channel::TestBed donor(config);
+  const channel::ChannelSetup setup =
+      channel::setup_covert_channel(donor, channel_config);
+  ASSERT_TRUE(setup.monitor_found);
+  donor.quiesce_environment();
+  const channel::TestBedSnapshot snap = donor.snapshot();
+
+  channel::TestBed first(config, snap);
+  obs::CollectingSink first_sink;
+  first.system().hub().set_trace_sink(&first_sink);
+  const channel::ChannelResult first_result =
+      channel::transfer_covert_channel(first, channel_config, payload, setup);
+
+  // A second fork transfers a different payload, mutating everything the
+  // snapshot could possibly alias: DRAM lines, version counters, caches.
+  channel::TestBed diverged(config, snap);
+  const channel::ChannelResult diverged_result = channel::transfer_covert_channel(
+      diverged, channel_config, channel::pattern_100100(12), setup);
+  EXPECT_NE(diverged_result.sent, first_result.sent);
+
+  // A third fork taken afterwards still replays the first run exactly — no
+  // state leaked through the shared copy-on-write image.
+  channel::TestBed second(config, snap);
+  obs::CollectingSink second_sink;
+  second.system().hub().set_trace_sink(&second_sink);
+  const channel::ChannelResult second_result =
+      channel::transfer_covert_channel(second, channel_config, payload, setup);
+
+  EXPECT_EQ(first_sink.events(), second_sink.events());
+  EXPECT_EQ(first_result.received, second_result.received);
+  EXPECT_EQ(first_result.probe_times, second_result.probe_times);
+}
+
+// ---------------------------------------------------------------------------
+// SetupCache + runner integration.
+
+TEST(SetupCache, BuildsOncePerKeyAndPropagatesFailure) {
+  runtime::SetupCache cache;
+  int builds = 0;
+  const auto value_builder = [&]() -> std::shared_ptr<const void> {
+    ++builds;
+    return std::make_shared<const int>(41);
+  };
+  const auto a = cache.get_or_build("k1", value_builder);
+  const auto b = cache.get_or_build("k1", value_builder);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A throwing builder fails every sharing caller and is never retried.
+  int failing_calls = 0;
+  const auto failing = [&]() -> std::shared_ptr<const void> {
+    ++failing_calls;
+    throw std::runtime_error("setup exploded");
+  };
+  EXPECT_THROW(cache.get_or_build("k2", failing), std::runtime_error);
+  EXPECT_THROW(cache.get_or_build("k2", failing), std::runtime_error);
+  EXPECT_EQ(failing_calls, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SetupCache, MemoizedSetupWithoutContextBuildsFresh) {
+  int builds = 0;
+  const auto builder = [&]() -> std::shared_ptr<const int> {
+    ++builds;
+    return std::make_shared<const int>(7);
+  };
+  ASSERT_EQ(runtime::TrialContext::current(), nullptr);
+  EXPECT_EQ(*runtime::memoized_setup<int>("key", builder), 7);
+  EXPECT_EQ(*runtime::memoized_setup<int>("key", builder), 7);
+  EXPECT_EQ(builds, 2);  // no ambient cache -> nothing memoized
+}
+
+runtime::Experiment toy_setup_experiment(std::atomic<int>& builds) {
+  runtime::Experiment exp;
+  exp.name = "toy_setup";
+  exp.setup_key = [](const runtime::TrialSpec& spec) {
+    return "toy_setup|seed=" + std::to_string(spec.seed);
+  };
+  exp.run = [&builds](const runtime::TrialSpec& spec) {
+    const auto warm = runtime::memoized_setup<std::uint64_t>(
+        "toy_setup|seed=" + std::to_string(spec.seed),
+        [&]() -> std::shared_ptr<const std::uint64_t> {
+          builds.fetch_add(1);
+          Rng rng(spec.seed);
+          return std::make_shared<const std::uint64_t>(rng.next_u64());
+        });
+    runtime::TrialResult result;
+    result.metric("warm_mod", static_cast<double>(*warm % 100003));
+    result.metric("trial", static_cast<double>(spec.trial_index));
+    return result;
+  };
+  return exp;
+}
+
+std::vector<runtime::TrialSpec> toy_trials(std::size_t count) {
+  std::vector<runtime::TrialSpec> trials;
+  for (std::size_t i = 0; i < count; ++i)
+    trials.push_back(runtime::TrialSpec{
+        .experiment = "toy", .trial_index = i, .seed = 100 + i % 2, .params = {}});
+  return trials;
+}
+
+TEST(Runner, SetupReuseSharesStateAndKeepsRecordsIdentical) {
+  std::atomic<int> builds{0};
+  const runtime::Experiment exp = toy_setup_experiment(builds);
+  const std::vector<runtime::TrialSpec> trials = toy_trials(6);
+
+  runtime::SetupStats reuse_stats;
+  runtime::RunnerConfig reuse_config;
+  reuse_config.jobs = 2;
+  const std::vector<runtime::TrialRecord> reused =
+      runtime::run_trials(exp, trials, reuse_config, &reuse_stats);
+  EXPECT_EQ(builds.load(), 2);  // one build per distinct seed
+  EXPECT_EQ(reuse_stats.misses, 2u);
+  EXPECT_EQ(reuse_stats.hits, 4u);
+
+  builds = 0;
+  runtime::SetupStats fresh_stats;
+  runtime::RunnerConfig fresh_config;
+  fresh_config.jobs = 2;
+  fresh_config.reuse_setup = false;
+  const std::vector<runtime::TrialRecord> fresh =
+      runtime::run_trials(exp, trials, fresh_config, &fresh_stats);
+  EXPECT_EQ(builds.load(), 6);  // every trial built its own
+  EXPECT_EQ(fresh_stats.misses, 0u);
+  EXPECT_EQ(fresh_stats.hits, 0u);
+
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (std::size_t i = 0; i < reused.size(); ++i) {
+    EXPECT_TRUE(reused[i].ok);
+    EXPECT_TRUE(fresh[i].ok);
+    EXPECT_EQ(reused[i].result.metrics, fresh[i].result.metrics) << "trial " << i;
+  }
+}
+
+TEST(Runner, ParallelTraceBufferingMatchesSerialOrder) {
+  runtime::Experiment exp;
+  exp.name = "toy_trace";
+  exp.run = [](const runtime::TrialSpec& spec) {
+    // Later trials finish first under jobs>1, scrambling completion order.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(8 - spec.trial_index));
+    if (obs::TrialScope* scope = obs::TrialScope::current();
+        scope != nullptr && scope->trace_sink() != nullptr) {
+      for (std::int64_t i = 0; i < 3; ++i) {
+        obs::TraceEvent event;
+        event.cycle = spec.seed * 100 + static_cast<Cycles>(i);
+        event.component = obs::Component::kChannel;
+        event.addr = spec.trial_index;
+        event.kind = "toy";
+        event.outcome = "ok";
+        event.value = i;
+        scope->trace_sink()->emit(event);
+      }
+    }
+    runtime::TrialResult result;
+    result.metric("seed", static_cast<double>(spec.seed));
+    return result;
+  };
+  std::vector<runtime::TrialSpec> trials;
+  for (std::size_t i = 0; i < 8; ++i)
+    trials.push_back(runtime::TrialSpec{
+        .experiment = "toy_trace", .trial_index = i, .seed = 500 + i, .params = {}});
+
+  obs::CollectingSink serial_sink;
+  runtime::RunnerConfig serial_config;
+  serial_config.jobs = 1;
+  serial_config.trace_sink = &serial_sink;
+  runtime::run_trials(exp, trials, serial_config);
+
+  obs::CollectingSink parallel_sink;
+  runtime::RunnerConfig parallel_config;
+  parallel_config.jobs = 4;
+  parallel_config.trace_sink = &parallel_sink;
+  runtime::run_trials(exp, trials, parallel_config);
+
+  EXPECT_EQ(serial_sink.events().size(), 24u);
+  EXPECT_EQ(serial_sink.events(), parallel_sink.events());
+}
+
+}  // namespace
+}  // namespace meecc
