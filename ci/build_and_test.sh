@@ -9,7 +9,7 @@
 # diff, counters JSONL); build trees also leave obs_artifacts/ dirs behind.
 set -euo pipefail
 
-# Usage: build_and_test.sh [all|hardened|perf]
+# Usage: build_and_test.sh [all|hardened|perf|nosimd]
 #   all       (default) plain + sanitized builds, full suite, determinism smoke
 #   hardened  warnings-hardened configuration only (-Wall -Wextra -Wshadow
 #             -Werror); runs as its own CI job so shadowing regressions fail
@@ -18,6 +18,9 @@ set -euo pipefail
 #             `meecc_bench perf --check` (fails if the ttable AES backend is
 #             not at least 2x the reference), leaving BENCH_hotpath.json in
 #             $ROOT/ci-artifacts for upload
+#   nosimd    -DMEECC_NO_SIMD=ON build (portable scalar tag probe); runs the
+#             unit and golden-trace tiers so the scalar cache-probe path
+#             proves the same golden traces as the SIMD one
 STAGE="${1:-all}"
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -68,8 +71,20 @@ elif [ "$STAGE" = "perf" ]; then
     --compare "$ROOT/BENCH_hotpath.json"
   echo "CI OK (perf)"
   exit 0
+elif [ "$STAGE" = "nosimd" ]; then
+  echo "=== scalar-probe build (-DMEECC_NO_SIMD=ON) ==="
+  DIR="$ROOT/build-ci-nosimd"
+  cmake -B "$DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_WERROR=ON -DMEECC_NO_SIMD=ON
+  cmake --build "$DIR" -j "$JOBS"
+  # Unit tier plus the golden traces: byte-identical traces from the scalar
+  # find_slot path is the gate that SIMD never changed behavior.
+  ctest --test-dir "$DIR" --output-on-failure -j "$JOBS" -L unit
+  "$DIR/tests/golden_trace_test"
+  echo "CI OK (nosimd)"
+  exit 0
 elif [ "$STAGE" != "all" ]; then
-  echo "unknown stage '$STAGE' (expected: all, hardened, perf)" >&2
+  echo "unknown stage '$STAGE' (expected: all, hardened, perf, nosimd)" >&2
   exit 2
 fi
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 
+#include "cache/tag_probe.h"
 #include "common/check.h"
 
 namespace meecc::cache {
@@ -16,13 +17,17 @@ SetAssocCache::SetAssocCache(const Geometry& geometry,
   fill_ = make_fill_policy(config, geometry_);
   const auto replacement = replacement_from_name(config.replacement);
   const auto sets = geometry_.sets();
-  lines_.assign(sets * geometry_.ways, kInvalidLine);
+  tags_.assign(sets * geometry_.ways, kInvalidLine);
+  valid_.assign(sets, 0);
   set_evictions_.assign(sets, 0);
+  ways_mask_ = geometry_.ways >= 64 ? ~std::uint64_t{0}
+                                    : (std::uint64_t{1} << geometry_.ways) - 1;
   flat_plru_ = replacement == ReplacementKind::kTreePlru;
   if (flat_plru_) {
     MEECC_CHECK(std::has_single_bit(geometry_.ways));
     plru_depth_ = static_cast<std::uint32_t>(std::countr_zero(geometry_.ways));
-    plru_bits_.assign(sets * (geometry_.ways - 1), 0);
+    plru_.assign(sets, 0);
+    build_plru_masks();
   } else {
     policy_.reserve(sets);
   }
@@ -43,29 +48,47 @@ SetAssocCache::SetAssocCache(const Geometry& geometry,
   refresh_indexing_shortcuts();
 }
 
+void SetAssocCache::build_plru_masks() {
+  // The tree nodes a touch/invalidate of `way` rewrites — and the values it
+  // writes — depend only on the way index, so the root-to-leaf walk runs
+  // once per way here instead of once per access. Node i of the implicit
+  // tree (children 2i+1 / 2i+2, as in replacement.cc's TreePlruPolicy) is
+  // bit i of the set's packed word.
+  const std::uint32_t ways = geometry_.ways;
+  plru_path_.assign(ways, 0);
+  plru_touch_.assign(ways, 0);
+  plru_point_.assign(ways, 0);
+  for (std::uint32_t way = 0; way < ways; ++way) {
+    std::uint32_t node = 0;
+    for (std::uint32_t d = plru_depth_; d-- > 0;) {
+      const std::uint32_t went_right = (way >> d) & 1;
+      plru_path_[way] |= std::uint64_t{1} << node;
+      // touch points every node on the path AWAY from the way (bit =
+      // 1 - went_right); invalidate points the path AT it (bit = went_right)
+      // so the freed slot is refilled first.
+      if (!went_right) plru_touch_[way] |= std::uint64_t{1} << node;
+      if (went_right) plru_point_[way] |= std::uint64_t{1} << node;
+      node = 2 * node + 1 + went_right;
+    }
+  }
+}
+
 void SetAssocCache::policy_touch(std::uint64_t set, std::uint32_t way) {
   if (!flat_plru_) {
     policy_[set]->touch(way);
     return;
   }
-  // Walk from the root to the leaf, pointing every node AWAY from `way`
-  // (same update as replacement.cc's TreePlruPolicy::touch).
-  std::uint8_t* bits = plru_bits_.data() + set * (geometry_.ways - 1);
-  std::uint32_t node = 0;
-  for (std::uint32_t d = plru_depth_; d-- > 0;) {
-    const std::uint32_t went_right = (way >> d) & 1;
-    bits[node] = static_cast<std::uint8_t>(1 - went_right);
-    node = 2 * node + 1 + went_right;
-  }
+  plru_[set] = (plru_[set] & ~plru_path_[way]) | plru_touch_[way];
 }
 
 std::uint32_t SetAssocCache::policy_victim(std::uint64_t set) {
   if (!flat_plru_) return policy_[set]->victim();
-  const std::uint8_t* bits = plru_bits_.data() + set * (geometry_.ways - 1);
+  const std::uint64_t bits = plru_[set];
   std::uint32_t node = 0;
   std::uint32_t way = 0;
   for (std::uint32_t d = plru_depth_; d-- > 0;) {
-    const std::uint32_t go_right = bits[node];
+    const std::uint32_t go_right =
+        static_cast<std::uint32_t>((bits >> node) & 1);
     way = (way << 1) | go_right;
     node = 2 * node + 1 + go_right;
   }
@@ -77,14 +100,7 @@ void SetAssocCache::policy_invalidate(std::uint64_t set, std::uint32_t way) {
     policy_[set]->invalidate(way);
     return;
   }
-  // Point the tree AT the invalidated way so it is refilled first.
-  std::uint8_t* bits = plru_bits_.data() + set * (geometry_.ways - 1);
-  std::uint32_t node = 0;
-  for (std::uint32_t d = plru_depth_; d-- > 0;) {
-    const std::uint32_t go_right = (way >> d) & 1;
-    bits[node] = static_cast<std::uint8_t>(go_right);
-    node = 2 * node + 1 + go_right;
-  }
+  plru_[set] = (plru_[set] & ~plru_path_[way]) | plru_point_[way];
 }
 
 void SetAssocCache::refresh_indexing_shortcuts() {
@@ -105,13 +121,18 @@ SetAssocCache::SetAssocCache(const SetAssocCache& other)
     : geometry_(other.geometry_),
       indexing_(other.indexing_->clone()),
       fill_(other.fill_->clone()),
-      lines_(other.lines_),
-      plru_bits_(other.plru_bits_),
+      tags_(other.tags_),
+      valid_(other.valid_),
+      plru_(other.plru_),
+      plru_path_(other.plru_path_),
+      plru_touch_(other.plru_touch_),
+      plru_point_(other.plru_point_),
       flat_plru_(other.flat_plru_),
       plru_depth_(other.plru_depth_),
       set_evictions_(other.set_evictions_),
       stats_(other.stats_),
       line_shift_(other.line_shift_),
+      ways_mask_(other.ways_mask_),
       way_dependent_(other.way_dependent_),
       direct_modulo_(other.direct_modulo_),
       direct_mask_(other.direct_mask_),
@@ -132,37 +153,34 @@ SetAssocCache& SetAssocCache::operator=(const SetAssocCache& other) {
   return *this;
 }
 
-std::uint64_t& SetAssocCache::line_at(std::uint64_t set, std::uint32_t way) {
-  return lines_[set * geometry_.ways + way];
+std::uint64_t& SetAssocCache::tag_at(std::uint64_t set, std::uint32_t way) {
+  return tags_[set * geometry_.ways + way];
 }
 
-std::uint64_t SetAssocCache::line_at(std::uint64_t set,
-                                     std::uint32_t way) const {
-  return lines_[set * geometry_.ways + way];
+std::uint64_t SetAssocCache::tag_at(std::uint64_t set,
+                                    std::uint32_t way) const {
+  return tags_[set * geometry_.ways + way];
 }
 
 std::optional<SetAssocCache::Slot> SetAssocCache::find_slot(
     std::uint64_t line) const {
   if (!way_dependent_) {
-    // Way-independent indexing probes a single contiguous row of ways.
+    // Way-independent indexing probes a single contiguous row of the tag
+    // plane in one data-parallel compare. At most one way can match
+    // (residents are unique per set), so the mask identifies the hit way
+    // directly; invalid slots hold the sentinel and never match.
     const auto set =
         direct_modulo_ ? (line & direct_mask_) : indexing_->set_of(line, 0);
-    const std::uint64_t* row = lines_.data() + set * geometry_.ways;
-    // Branchless mask scan: reading every way unconditionally lets the
-    // compiler vectorize the compares, and misses — the common case in a
-    // clflush+probe workload — have to scan the whole row anyway. At most
-    // one way can match (residents are unique per set), so the mask
-    // identifies the hit way directly.
-    const std::uint32_t ways = geometry_.ways;
-    std::uint64_t match = 0;
-    for (std::uint32_t w = 0; w < ways; ++w)
-      match |= static_cast<std::uint64_t>(row[w] == line) << w;
+    const std::uint64_t match = detail::tag_probe(
+        tags_.data() + set * geometry_.ways, geometry_.ways, line);
     if (match == 0) return std::nullopt;
     return Slot{set, static_cast<std::uint32_t>(std::countr_zero(match))};
   }
+  // Skewed indexing: each way indexes its own set, so the candidates are
+  // strided across the tag plane and the probe stays scalar.
   for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
     const auto set = indexing_->set_of(line, w);
-    if (line_at(set, w) == line) return Slot{set, w};
+    if (tag_at(set, w) == line) return Slot{set, w};
   }
   return std::nullopt;
 }
@@ -192,7 +210,7 @@ SetAssocCache::Slot SetAssocCache::pick_victim(std::uint64_t line,
     for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
       if (!(allowed & (WayMask{1} << w))) continue;
       const auto set = indexing_->set_of(line, w);
-      if (line_at(set, w) == kInvalidLine) return Slot{set, w};
+      if (!(valid_[set] & (std::uint64_t{1} << w))) return Slot{set, w};
     }
     std::array<std::uint32_t, 64> candidates{};
     std::uint32_t n = 0;
@@ -205,11 +223,11 @@ SetAssocCache::Slot SetAssocCache::pick_victim(std::uint64_t line,
   const auto set =
       direct_modulo_ ? (line & direct_mask_) : indexing_->set_of(line, 0);
 
-  // Prefer an invalid allowed way.
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (!(allowed & (WayMask{1} << w))) continue;
-    if (line_at(set, w) == kInvalidLine) return Slot{set, w};
-  }
+  // Prefer an invalid allowed way: lowest set bit of the free mask matches
+  // the old ascending-way scan exactly.
+  const std::uint64_t free_allowed = ~valid_[set] & allowed & ways_mask_;
+  if (free_allowed)
+    return Slot{set, static_cast<std::uint32_t>(std::countr_zero(free_allowed))};
 
   // Ask the policy, skipping disallowed ways by re-touching them so the
   // policy walks elsewhere. Bounded retries keep this terminating even for
@@ -265,16 +283,18 @@ std::optional<PhysAddr> SetAssocCache::fill_impl(PhysAddr addr, WayMask allowed,
     return std::nullopt;
 
   const auto victim = pick_victim(line, allowed);
-  auto& victim_line = line_at(victim.set, victim.way);
+  auto& victim_tag = tag_at(victim.set, victim.way);
+  const std::uint64_t way_bit = std::uint64_t{1} << victim.way;
   std::optional<PhysAddr> evicted;
-  if (victim_line != kInvalidLine) {
+  if (valid_[victim.set] & way_bit) {
     // Exactly one eviction per displaced VALID line: a slot freed by
     // invalidate() (or picked while still empty) must not count.
     ++stats_.evictions;
     ++set_evictions_[victim.set];
-    evicted = PhysAddr{victim_line * geometry_.line_size};
+    evicted = PhysAddr{victim_tag * geometry_.line_size};
   }
-  victim_line = line;
+  victim_tag = line;
+  valid_[victim.set] |= way_bit;
   policy_touch(victim.set, victim.way);
   return evicted;
 }
@@ -288,21 +308,30 @@ bool SetAssocCache::access(PhysAddr addr, WayMask allowed, CoreId requester) {
 bool SetAssocCache::invalidate(PhysAddr addr) {
   const auto slot = find_slot(line_index_of(addr));
   if (!slot) return false;
-  line_at(slot->set, slot->way) = kInvalidLine;
+  tag_at(slot->set, slot->way) = kInvalidLine;
+  valid_[slot->set] &= ~(std::uint64_t{1} << slot->way);
   policy_invalidate(slot->set, slot->way);
   ++stats_.invalidations;
   return true;
 }
 
 void SetAssocCache::flush_all() {
-  for (std::uint64_t s = 0; s < geometry_.sets(); ++s) {
-    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-      if (line_at(s, w) != kInvalidLine) {
-        line_at(s, w) = kInvalidLine;
-        policy_invalidate(s, w);
-        ++stats_.invalidations;
-      }
+  // The meta plane makes this O(occupied lines): a cold set is one load
+  // and a skip, which matters because clflush-heavy trials re-flush whole
+  // hierarchies between runs.
+  const auto sets = geometry_.sets();
+  for (std::uint64_t s = 0; s < sets; ++s) {
+    std::uint64_t occupied = valid_[s];
+    if (!occupied) continue;
+    std::uint64_t* row = tags_.data() + s * geometry_.ways;
+    while (occupied) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(occupied));
+      occupied &= occupied - 1;
+      row[w] = kInvalidLine;
+      policy_invalidate(s, w);
+      ++stats_.invalidations;
     }
+    valid_[s] = 0;
   }
 }
 
@@ -322,19 +351,17 @@ void SetAssocCache::reset_stats() {
 
 std::uint32_t SetAssocCache::occupancy(std::uint64_t set) const {
   MEECC_CHECK(set < geometry_.sets());
-  std::uint32_t n = 0;
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w)
-    if (line_at(set, w) != kInvalidLine) ++n;
-  return n;
+  return static_cast<std::uint32_t>(std::popcount(valid_[set]));
 }
 
 std::vector<PhysAddr> SetAssocCache::resident_lines(std::uint64_t set) const {
   MEECC_CHECK(set < geometry_.sets());
   std::vector<PhysAddr> result;
-  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-    const auto line = line_at(set, w);
-    if (line != kInvalidLine)
-      result.push_back(PhysAddr{line * geometry_.line_size});
+  std::uint64_t occupied = valid_[set];
+  while (occupied) {
+    const auto w = static_cast<std::uint32_t>(std::countr_zero(occupied));
+    occupied &= occupied - 1;
+    result.push_back(PhysAddr{tag_at(set, w) * geometry_.line_size});
   }
   return result;
 }

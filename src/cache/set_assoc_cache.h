@@ -7,6 +7,16 @@
 //   replacement — which resident way a full set gives up (replacement.h)
 //   fill        — which ways a requester may claim, and whether the miss is
 //                 admitted at all (all / partition / random)
+//
+// Storage is struct-of-arrays: three contiguous planes indexed by set —
+//   tag plane   tags_[set * ways + way], the full line index per way
+//               (all-ones sentinel = invalid), probed as one SIMD compare
+//               over the set's row (cache/tag_probe.h)
+//   meta plane  valid_[set], a bitmask of occupied ways, so free-way scans,
+//               occupancy and flush are O(1) bit ops per set
+//   PLRU plane  plru_[set], the set's tree-PLRU direction bits packed into
+//               one word, so touch/invalidate are two precomputed masks and
+//               victim selection walks a register instead of chasing bytes
 #pragma once
 
 #include <cstdint>
@@ -45,11 +55,11 @@ class SetAssocCache {
   /// Classic shape: modulo indexing, all-ways fill, `replacement`.
   SetAssocCache(const Geometry& geometry, ReplacementKind replacement, Rng rng);
 
-  /// Deep copy (snapshot/fork support): clones the policy objects so the
-  /// copy replays the identical victim/admission streams. Throws
-  /// CheckFailure when an externally registered policy doesn't implement
-  /// clone(). Declaring the copy pair suppresses the implicit moves, so
-  /// they're re-defaulted explicitly.
+  /// Deep copy (snapshot/fork support): copies all three planes and clones
+  /// the policy objects so the copy replays the identical victim/admission
+  /// streams. Throws CheckFailure when an externally registered policy
+  /// doesn't implement clone(). Declaring the copy pair suppresses the
+  /// implicit moves, so they're re-defaulted explicitly.
   SetAssocCache(const SetAssocCache& other);
   SetAssocCache& operator=(const SetAssocCache& other);
   SetAssocCache(SetAssocCache&&) = default;
@@ -118,7 +128,7 @@ class SetAssocCache {
   /// address under a keyed permutation — with this value marking an invalid
   /// way. All-ones is unreachable as a real index for any line size > 1,
   /// and folding validity into the index keeps each set's ways in one
-  /// compact 8-byte-per-way row for the find_slot scan.
+  /// compact 8-byte-per-way row for the SIMD tag probe.
   static constexpr std::uint64_t kInvalidLine = ~std::uint64_t{0};
 
   struct Slot {
@@ -126,19 +136,23 @@ class SetAssocCache {
     std::uint32_t way = 0;
   };
 
-  std::uint64_t& line_at(std::uint64_t set, std::uint32_t way);
-  std::uint64_t line_at(std::uint64_t set, std::uint32_t way) const;
+  std::uint64_t& tag_at(std::uint64_t set, std::uint32_t way);
+  std::uint64_t tag_at(std::uint64_t set, std::uint32_t way) const;
   std::optional<Slot> find_slot(std::uint64_t line) const;
   Slot pick_victim(std::uint64_t line, WayMask allowed);
   std::optional<PhysAddr> fill_impl(PhysAddr addr, WayMask allowed,
                                     CoreId requester, bool check_resident);
 
   /// Replacement-state entry points. Tree-PLRU — the default policy on
-  /// every modelled cache — is stored flat in plru_bits_ and handled
+  /// every modelled cache — lives packed in the plru_ plane and is handled
   /// inline; other policies dispatch to the per-set policy_ objects.
   void policy_touch(std::uint64_t set, std::uint32_t way);
   std::uint32_t policy_victim(std::uint64_t set);
   void policy_invalidate(std::uint64_t set, std::uint32_t way);
+
+  /// Precomputes the per-way PLRU update masks (the node path and bit
+  /// values a touch/invalidate writes depend only on the way index).
+  void build_plru_masks();
 
   /// Re-derives the devirtualized shortcuts (way_dependent_, direct set
   /// mask) from indexing_. Called at construction and after rekey().
@@ -150,14 +164,24 @@ class SetAssocCache {
   Geometry geometry_;
   std::unique_ptr<IndexingPolicy> indexing_;
   std::unique_ptr<FillPolicy> fill_;
-  std::vector<std::uint64_t> lines_;  // sets * ways, row-major by set
+  /// Tag plane: sets * ways line indices, row-major by set.
+  std::vector<std::uint64_t> tags_;
+  /// Meta plane: per-set bitmask of occupied ways (bit w == way w valid).
+  /// Mirrors tags_ != kInvalidLine; kept coherent by fill/invalidate/flush.
+  std::vector<std::uint64_t> valid_;
   /// One policy object per set — empty when flat_plru_ is set (the
   /// per-set RNG forks are still drawn so sibling streams don't shift).
   std::vector<std::unique_ptr<ReplacementPolicy>> policy_;
-  /// Tree-PLRU direction bits, (ways - 1) per set, when flat_plru_. Same
-  /// update rules as replacement.cc's TreePlruPolicy, kept contiguous so
-  /// the per-access touch does not chase a unique_ptr and a vtable.
-  std::vector<std::uint8_t> plru_bits_;
+  /// PLRU plane: tree-PLRU direction bits, (ways - 1) of them packed into
+  /// one word per set (bit i == node i), when flat_plru_. Same update rules
+  /// as replacement.cc's TreePlruPolicy, kept packed so a touch is one
+  /// load, two masks and one store.
+  std::vector<std::uint64_t> plru_;
+  /// touch(way): plru = (plru & ~plru_path_[way]) | plru_touch_[way];
+  /// invalidate(way): ... | plru_point_[way] (points AT the way instead).
+  std::vector<std::uint64_t> plru_path_;
+  std::vector<std::uint64_t> plru_touch_;
+  std::vector<std::uint64_t> plru_point_;
   bool flat_plru_ = false;
   std::uint32_t plru_depth_ = 0;  // log2(ways)
   std::vector<std::uint64_t> set_evictions_;
@@ -165,6 +189,8 @@ class SetAssocCache {
   /// log2(line_size); validate() guarantees a power-of-two line size, so
   /// every addr→line-index division on the access paths becomes a shift.
   std::uint32_t line_shift_ = 0;
+  /// Low `ways` bits set — the universe for valid_/allowed intersections.
+  std::uint64_t ways_mask_ = 0;
   bool way_dependent_ = false;
   /// When the indexing policy is the classic modulo design its set mapping
   /// is inlined as `line & direct_mask_`, skipping the virtual call on

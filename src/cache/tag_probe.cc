@@ -1,0 +1,85 @@
+#include "cache/tag_probe.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && !defined(MEECC_NO_SIMD)
+#define MEECC_TAG_PROBE_X86 1
+#include <immintrin.h>
+#endif
+
+namespace meecc::cache::detail {
+
+std::uint64_t tag_probe_scalar(const std::uint64_t* row, std::uint32_t ways,
+                               std::uint64_t line) {
+  // Branchless mask scan: reading every way unconditionally lets the
+  // compiler vectorize the compares, and misses — the common case in a
+  // clflush+probe workload — have to scan the whole row anyway.
+  std::uint64_t match = 0;
+  for (std::uint32_t w = 0; w < ways; ++w)
+    match |= static_cast<std::uint64_t>(row[w] == line) << w;
+  return match;
+}
+
+#ifdef MEECC_TAG_PROBE_X86
+
+namespace {
+
+// Per-function target attributes (no global -mavx2), so the binary still
+// runs on older CPUs — select_tag_probe() consults CPUID before ever
+// taking one of these paths.
+
+__attribute__((target("avx2"))) std::uint64_t tag_probe_avx2(
+    const std::uint64_t* row, std::uint32_t ways, std::uint64_t line) {
+  const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(line));
+  std::uint64_t match = 0;
+  std::uint32_t w = 0;
+  for (; w + 4 <= ways; w += 4) {
+    const __m256i tags =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    const int mask =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(tags, needle)));
+    match |= static_cast<std::uint64_t>(mask) << w;
+  }
+  for (; w < ways; ++w)
+    match |= static_cast<std::uint64_t>(row[w] == line) << w;
+  return match;
+}
+
+__attribute__((target("sse4.1"))) std::uint64_t tag_probe_sse41(
+    const std::uint64_t* row, std::uint32_t ways, std::uint64_t line) {
+  const __m128i needle = _mm_set1_epi64x(static_cast<long long>(line));
+  std::uint64_t match = 0;
+  std::uint32_t w = 0;
+  for (; w + 2 <= ways; w += 2) {
+    const __m128i tags =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + w));
+    const int mask =
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(tags, needle)));
+    match |= static_cast<std::uint64_t>(mask) << w;
+  }
+  for (; w < ways; ++w)
+    match |= static_cast<std::uint64_t>(row[w] == line) << w;
+  return match;
+}
+
+}  // namespace
+
+TagProbeFn select_tag_probe() {
+  if (__builtin_cpu_supports("avx2")) return tag_probe_avx2;
+  if (__builtin_cpu_supports("sse4.1")) return tag_probe_sse41;
+  return tag_probe_scalar;
+}
+
+const char* tag_probe_name() {
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+  if (__builtin_cpu_supports("sse4.1")) return "sse4.1";
+  return "scalar";
+}
+
+#else  // !MEECC_TAG_PROBE_X86
+
+TagProbeFn select_tag_probe() { return tag_probe_scalar; }
+
+const char* tag_probe_name() { return "scalar"; }
+
+#endif
+
+}  // namespace meecc::cache::detail

@@ -1,0 +1,42 @@
+// SIMD tag-plane probe: compare one set's contiguous row of 64-bit tags
+// against a target line index and return the bitmask of matching ways.
+//
+// The SoA layout of SetAssocCache keeps each set's tags in one contiguous
+// row, so the probe is a pure data-parallel compare — the covert-channel
+// workloads are one long clflush+probe loop and spend a third of their
+// wall-clock here. The implementation is picked once per process by CPUID
+// (AVX2, then SSE4.1, then scalar); building with -DMEECC_NO_SIMD=ON forces
+// the portable scalar path everywhere. All paths return bit-identical
+// masks, so which one runs can never change simulation results.
+#pragma once
+
+#include <cstdint>
+
+namespace meecc::cache::detail {
+
+/// Bitmask of ways w in [0, ways) with row[w] == line. Invalid slots hold
+/// the all-ones sentinel, which never equals a real line index, so the
+/// caller needs no separate validity filter.
+using TagProbeFn = std::uint64_t (*)(const std::uint64_t* row,
+                                     std::uint32_t ways, std::uint64_t line);
+
+/// Portable scalar probe (also the MEECC_NO_SIMD implementation).
+std::uint64_t tag_probe_scalar(const std::uint64_t* row, std::uint32_t ways,
+                               std::uint64_t line);
+
+/// The fastest probe this CPU supports. Resolved once; the returned pointer
+/// is valid for the life of the process.
+TagProbeFn select_tag_probe();
+
+/// Process-wide probe entry point (resolved at first use).
+inline std::uint64_t tag_probe(const std::uint64_t* row, std::uint32_t ways,
+                               std::uint64_t line) {
+  static const TagProbeFn probe = select_tag_probe();
+  return probe(row, ways, line);
+}
+
+/// Name of the selected implementation ("avx2", "sse4.1", "scalar") — for
+/// diagnostics and the NO_SIMD CI leg's sanity check.
+const char* tag_probe_name();
+
+}  // namespace meecc::cache::detail

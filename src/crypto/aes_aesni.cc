@@ -40,6 +40,32 @@ class AesniBackend final : public AesBackend {
     return out;
   }
 
+  /// Pipelined multi-block encryption: the aesenc units are fully
+  /// pipelined (latency ~4 cycles, throughput 1-2/cycle), so running up to
+  /// eight independent states through each round back-to-back hides nearly
+  /// all of the per-block latency. Remainders shorter than 8 loop the same
+  /// code with a partial state count.
+  __attribute__((target("aes,sse2"))) void encrypt_blocks(
+      const Block* in, Block* out, std::size_t n) const override {
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t lane_count = n - i < 8 ? n - i : 8;
+      __m128i s[8];
+      for (std::size_t lane = 0; lane < lane_count; ++lane)
+        s[lane] = _mm_xor_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(in[i + lane].data())),
+            enc_[0]);
+      for (int round = 1; round < 10; ++round)
+        for (std::size_t lane = 0; lane < lane_count; ++lane)
+          s[lane] = _mm_aesenc_si128(s[lane], enc_[round]);
+      for (std::size_t lane = 0; lane < lane_count; ++lane)
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out[i + lane].data()),
+                         _mm_aesenclast_si128(s[lane], enc_[10]));
+      i += lane_count;
+    }
+  }
+
   __attribute__((target("aes,sse2"))) Block
   decrypt(const Block& ciphertext) const override {
     __m128i s =

@@ -15,6 +15,7 @@
 //   auto       alias: aesni when available, else ttable
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -36,6 +37,17 @@ class AesBackend {
 
   virtual Block encrypt(const Block& plaintext) const = 0;
   virtual Block decrypt(const Block& ciphertext) const = 0;
+
+  /// Encrypts `n` independent blocks: out[i] = AES_K(in[i]). Bit-identical
+  /// to calling encrypt() in a loop — the point is host speed: hardware
+  /// backends override this to keep several blocks in flight at once (the
+  /// AES round instructions are pipelined, so 4-8 independent blocks cost
+  /// barely more than one). `in` and `out` may alias element-wise
+  /// (out == in) but must not partially overlap.
+  virtual void encrypt_blocks(const Block* in, Block* out,
+                              std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = encrypt(in[i]);
+  }
 };
 
 /// Every selectable backend name, in registration order, "auto" last.

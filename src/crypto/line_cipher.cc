@@ -9,15 +9,19 @@ LineCipher::LineCipher(const Key128& key, std::string_view aes_backend)
 
 LineData LineCipher::compute_keystream(std::uint64_t address,
                                        std::uint64_t version) const {
-  LineData ks{};
+  // The four counter blocks are independent, so one multi-block call lets
+  // hardware backends pipeline across them.
+  std::array<Block, 4> counters{};
   for (std::uint32_t block = 0; block < 4; ++block) {
-    Block counter{};
-    std::memcpy(counter.data(), &address, 8);
+    std::memcpy(counters[block].data(), &address, 8);
     std::uint64_t v = (version << 8) | block;  // version ‖ block index
-    std::memcpy(counter.data() + 8, &v, 8);
-    const Block out = aes_->encrypt(counter);
-    std::memcpy(ks.data() + 16 * block, out.data(), 16);
+    std::memcpy(counters[block].data() + 8, &v, 8);
   }
+  std::array<Block, 4> outs;
+  aes_->encrypt_blocks(counters.data(), outs.data(), counters.size());
+  LineData ks{};
+  for (std::uint32_t block = 0; block < 4; ++block)
+    std::memcpy(ks.data() + 16 * block, outs[block].data(), 16);
   return ks;
 }
 

@@ -32,6 +32,14 @@
 
 namespace meecc::crypto {
 
+/// One element of a verify_batch() call.
+struct MacRequest {
+  std::uint64_t address = 0;
+  std::uint64_t version = 0;
+  std::span<const std::uint8_t> data;
+  std::uint64_t expected_tag = 0;
+};
+
 /// Common interface for the MEE's line-authentication function.
 class MacScheme {
  public:
@@ -45,6 +53,17 @@ class MacScheme {
   bool verify(std::uint64_t address, std::uint64_t version,
               std::span<const std::uint8_t> data,
               std::uint64_t expected_tag) const;
+
+  /// Verifies `n` independent requests and returns the index of the FIRST
+  /// failing one in array order, or `n` when all pass — exactly the verdict
+  /// a serial loop of verify() calls would reach. The base implementation
+  /// IS that loop; schemes with a cacheable pad override it to derive every
+  /// missing pad in one multi-block AES call. Results are always identical
+  /// to serial verification. Precondition for identical pad hit/miss
+  /// accounting: the requests carry pairwise-distinct (address, version)
+  /// nonces (an MEE walk batch always does — one node per tree level).
+  virtual std::size_t verify_batch(const MacRequest* requests,
+                                   std::size_t n) const;
 
   /// Pad-cache hooks; no-ops for schemes without a cacheable pad (CBC-MAC
   /// feeds the data through AES, so there is nothing nonce-keyed to cache).
@@ -75,6 +94,11 @@ class MultilinearMac final : public MacScheme {
   std::uint64_t tag(std::uint64_t address, std::uint64_t version,
                     std::span<const std::uint8_t> data) const override;
 
+  /// Batched verification: one pad-cache probe per request (in order), one
+  /// encrypt_blocks() over all the misses, then the cheap inner products.
+  std::size_t verify_batch(const MacRequest* requests,
+                           std::size_t n) const override;
+
   void set_pad_cache_enabled(bool enabled) override {
     pad_cache_.set_enabled(enabled);
   }
@@ -93,6 +117,10 @@ class MultilinearMac final : public MacScheme {
 
  private:
   std::uint64_t pad(std::uint64_t address, std::uint64_t version) const;
+  /// The universal-hash part of the tag (everything except the pad).
+  std::uint64_t inner_product(std::span<const std::uint8_t> data) const;
+  /// AES-CTR input block for the pad of (address, version).
+  static Block pad_block(std::uint64_t address, std::uint64_t version);
 
   std::unique_ptr<const AesBackend> aes_;
   std::vector<std::uint64_t> key_words_;  // one 64-bit word per 32-bit m_i

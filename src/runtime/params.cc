@@ -150,6 +150,12 @@ constexpr SystemParam kSystemParams[] = {
      [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
        c.mee.pad_cache = parse_bool(k, v);
      }},
+    {"crypto.batched_walks",
+     "batch a walk's per-level MAC pads through multi-block AES — host "
+     "speed only; results identical to the serial path",
+     [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
+       c.mee.batched_walks = parse_bool(k, v);
+     }},
     {"mee.cache_bytes", "MEE cache capacity (paper: 64K)",
      [](sim::SystemConfig& c, std::string_view k, std::string_view v) {
        c.mee.cache_geometry.size_bytes = parse_size(k, v);

@@ -59,16 +59,30 @@ bool Scheduler::cancel(ProcessHandle handle) {
   const auto index = static_cast<std::size_t>(it - owned_.begin());
   for (const auto finished : finished_)
     MEECC_CHECK_MSG(finished != target, "cancel of an agent mid-completion");
-  // Drain the queue, dropping this agent's pending events; survivors keep
-  // their original sequence numbers (re-pushing does not consume seq_).
-  std::vector<Event> survivors;
-  survivors.reserve(queue_.size());
-  while (!queue_.empty()) {
-    if (queue_.top().handle.address() != target.address())
-      survivors.push_back(queue_.top());
-    queue_.pop();
+  // Drop the agent's pending events from every bucket. Compaction keeps
+  // the survivors' relative order, so sibling ordering is unchanged and no
+  // new sequence numbers are consumed. In the draining epoch only the
+  // not-yet-dispatched tail is pending — entries before epoch_pos_ already
+  // ran (and may reference destroyed frames, so they must not be compared).
+  for (std::uint32_t slot = 0; slot < buckets_.size(); ++slot) {
+    TimeBucket& bucket = buckets_[slot];
+    if (!bucket.live) continue;
+    const bool is_epoch = epoch_active_ && slot == epoch_slot_;
+    std::size_t out = is_epoch ? epoch_pos_ : 0;
+    for (std::size_t i = out; i < bucket.ready.size(); ++i) {
+      if (bucket.ready[i].address() != target.address())
+        bucket.ready[out++] = bucket.ready[i];
+      else
+        --pending_;
+    }
+    bucket.ready.resize(out);
+    // An emptied non-epoch bucket is recycled here; its timestamp stays in
+    // times_ and is skipped lazily. The epoch bucket retires normally.
+    if (!is_epoch && bucket.ready.empty()) {
+      bucket.live = false;
+      free_buckets_.push_back(slot);
+    }
   }
-  for (const Event& event : survivors) queue_.push(event);
   owned_[index] = owned_.back();
   owned_[index].promise().owned_index = index;
   owned_.pop_back();
@@ -77,16 +91,88 @@ bool Scheduler::cancel(ProcessHandle handle) {
 }
 
 void Scheduler::restore_clock(Cycles now, std::uint64_t seq) {
-  MEECC_CHECK_MSG(queue_.empty() && owned_.empty() && finished_.empty(),
+  MEECC_CHECK_MSG(pending_ == 0 && owned_.empty() && finished_.empty(),
                   "restore_clock needs a quiesced scheduler");
   now_ = now;
   seq_ = seq;
 }
 
+std::uint32_t Scheduler::bucket_for(Cycles when) {
+  // Memo hit: the previous enqueue's bucket is still live at this
+  // timestamp. Miss: create a fresh bucket — no scan for an older
+  // same-time bucket, because the heap's creation-seq tie-break drains
+  // chained buckets in creation order anyway.
+  if (enqueue_hint_ < buckets_.size()) {
+    const TimeBucket& hint = buckets_[enqueue_hint_];
+    if (hint.live && hint.when == when) return enqueue_hint_;
+  }
+  std::uint32_t slot;
+  if (!free_buckets_.empty()) {
+    slot = free_buckets_.back();
+    free_buckets_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  buckets_[slot].when = when;
+  buckets_[slot].seq = seq_;
+  buckets_[slot].live = true;
+  times_.push(TimeRef{when, seq_, slot});
+  enqueue_hint_ = slot;
+  return slot;
+}
+
 void Scheduler::enqueue(std::coroutine_handle<> handle, Cycles when) {
   // Events never fire in the past: a stale clock is clamped to `now`.
+  // seq_ still advances once per enqueue (snapshot/fork restores it), but
+  // the value is no longer stored per event — bucket append order carries
+  // the same tie-break.
   scheduled_.inc();
-  queue_.push(Event{std::max(when, now_), seq_++, handle});
+  ++seq_;
+  buckets_[bucket_for(std::max(when, now_))].ready.push_back(handle);
+  ++pending_;
+}
+
+void Scheduler::retire_epoch() {
+  TimeBucket& bucket = buckets_[epoch_slot_];
+  bucket.ready.clear();  // keeps capacity for the slot's next tenant
+  bucket.live = false;
+  free_buckets_.push_back(epoch_slot_);
+  epoch_active_ = false;
+  epoch_pos_ = 0;
+}
+
+std::coroutine_handle<> Scheduler::take_next(bool limited, Cycles limit) {
+  for (;;) {
+    if (epoch_active_) {
+      TimeBucket& bucket = buckets_[epoch_slot_];
+      if (epoch_pos_ < bucket.ready.size()) {
+        if (limited && bucket.when > limit) return nullptr;
+        --pending_;
+        return bucket.ready[epoch_pos_++];
+      }
+      retire_epoch();
+    }
+    // Pop the next genuine entry (cancel() may have left stale ones — the
+    // seq check also rejects a recycled slot's new tenant, which has its
+    // own entry) and open its bucket as the new epoch.
+    for (;;) {
+      if (times_.empty()) return nullptr;
+      const TimeRef next = times_.top();
+      const TimeBucket& bucket = buckets_[next.slot];
+      if (!bucket.live || bucket.when != next.when || bucket.seq != next.seq) {
+        times_.pop();  // stale: emptied by cancel, slot possibly recycled
+        continue;
+      }
+      if (limited && next.when > limit) return nullptr;
+      times_.pop();
+      epoch_slot_ = next.slot;
+      break;
+    }
+    epoch_pos_ = 0;
+    epoch_active_ = true;
+    now_ = buckets_[epoch_slot_].when;
+  }
 }
 
 void Scheduler::reap_finished() {
@@ -108,41 +194,37 @@ void Scheduler::reap_finished() {
   }
 }
 
-void Scheduler::dispatch(const Event& event) {
-  now_ = event.when;
+void Scheduler::dispatch(std::coroutine_handle<> handle) {
+  // now_ was set when the handle's epoch was opened (all its events share
+  // that timestamp).
   dispatched_.inc();
   // Child Task frames created while the agent runs allocate (and freed
   // frames recycle) through this scheduler's arena.
   FrameArena::Scope scope(&arena_);
-  event.handle.resume();
+  handle.resume();
   if (!finished_.empty()) reap_finished();
 }
 
 std::uint64_t Scheduler::run_until(Cycles until) {
   std::uint64_t dispatched = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
-    const Event event = queue_.top();
-    queue_.pop();
-    dispatch(event);
+  while (const auto handle = take_next(/*limited=*/true, until)) {
+    dispatch(handle);
     ++dispatched;
   }
   return dispatched;
 }
 
 bool Scheduler::step() {
-  if (queue_.empty()) return false;
-  const Event event = queue_.top();
-  queue_.pop();
-  dispatch(event);
+  const auto handle = take_next(/*limited=*/false, 0);
+  if (!handle) return false;
+  dispatch(handle);
   return true;
 }
 
 std::uint64_t Scheduler::run_to_completion() {
   std::uint64_t dispatched = 0;
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
-    dispatch(event);
+  while (const auto handle = take_next(/*limited=*/false, 0)) {
+    dispatch(handle);
     ++dispatched;
   }
   return dispatched;

@@ -244,7 +244,7 @@ class Scheduler {
   /// Time of the most recently dispatched event.
   Cycles now() const { return now_; }
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return pending_ == 0; }
 
   /// Attaches scheduling counters (des.spawned/scheduled/dispatched) to
   /// `hub` (borrowed; may be nullptr to detach). Called by sim::System.
@@ -270,18 +270,35 @@ class Scheduler {
 
  private:
   friend struct Process::promise_type::FinalNotify;
-  struct Event {
-    Cycles when;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
 
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+  /// All events pending at one timestamp, in enqueue order. seq_ increments
+  /// monotonically per enqueue, so append order IS sequence order — the
+  /// per-event seq the old binary heap stored to break timestamp ties is
+  /// implicit in the vector. Slots are recycled through free_buckets_ with
+  /// their capacity intact, so a steady-state simulation enqueues and
+  /// drains without touching the allocator.
+  struct TimeBucket {
+    Cycles when = 0;
+    std::uint64_t seq = 0;  ///< creation sequence (heap tie-break)
+    bool live = false;
+    std::vector<std::coroutine_handle<>> ready;
   };
 
-  void dispatch(const Event& event);
+  /// Index of a live bucket for `when` to append to: the one-slot enqueue
+  /// memo when it matches, else a freshly created bucket (registered in
+  /// times_) — never a scan. Same-time buckets may therefore coexist; the
+  /// heap drains them in creation order, which is enqueue order.
+  std::uint32_t bucket_for(Cycles when);
+
+  /// Hands out the next runnable handle in (when, seq) order, or nullptr.
+  /// Drains the active epoch flat (no heap ops between same-time events),
+  /// retiring it and popping the next timestamp off times_ when it runs
+  /// dry. With `limited`, events after `limit` stay queued.
+  std::coroutine_handle<> take_next(bool limited, Cycles limit);
+
+  void retire_epoch();
+
+  void dispatch(std::coroutine_handle<> handle);
 
   /// Called from FinalNotify::await_suspend when a top-level agent reaches
   /// its final suspend point.
@@ -299,7 +316,41 @@ class Scheduler {
   /// destructor body destroys the owned coroutine frames, which return
   /// their blocks here.
   FrameArena arena_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Heap entry: a pending timestamp and the bucket slot created for it.
+  /// Revalidated at pop time (live, matching when AND creation seq) —
+  /// cancel() can empty a bucket and recycle its slot, leaving stale
+  /// entries that are skipped lazily; the seq check keeps a recycled slot's
+  /// new tenant from being drained through an old entry out of order.
+  struct TimeRef {
+    Cycles when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator>(const TimeRef& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  /// Epoch queue: a min-heap of (timestamp, creation seq) pairs plus one
+  /// TimeBucket of handles per entry. Advancing time pops the earliest
+  /// entry and drains its bucket as a flat run queue (the "epoch").
+  /// Same-time buckets chain in creation order, so events still run in
+  /// global (when, enqueue) order — the enqueue memo makes bursts of
+  /// same-time events share one bucket, and an event enqueued at the
+  /// epoch's own time lands either in the draining bucket (memo hit) or in
+  /// a successor bucket drained at the same timestamp right after it;
+  /// either way the dispatch order matches the old (when, seq) heap.
+  std::priority_queue<TimeRef, std::vector<TimeRef>, std::greater<>> times_;
+  std::vector<TimeBucket> buckets_;
+  std::vector<std::uint32_t> free_buckets_;
+  /// One-slot memo: the most recently created bucket, checked first on
+  /// every enqueue. Always the newest bucket for its timestamp (creation is
+  /// the only assignment), so a memo hit never appends behind a younger
+  /// same-time bucket.
+  std::uint32_t enqueue_hint_ = 0;
+  std::uint32_t epoch_slot_ = 0;  ///< draining bucket, when epoch_active_
+  std::size_t epoch_pos_ = 0;     ///< next undispatched entry in the epoch
+  bool epoch_active_ = false;
+  std::size_t pending_ = 0;  ///< queued, not-yet-dispatched events
   std::vector<std::coroutine_handle<Process::promise_type>> owned_;
   std::vector<std::coroutine_handle<Process::promise_type>> finished_;
   Cycles now_ = 0;

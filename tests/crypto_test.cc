@@ -236,6 +236,120 @@ TEST_P(AesBackendSuite, LineCipherIdenticalAcrossBackends) {
   }
 }
 
+// NIST SP 800-38A F.1.1 (ECB-AES128.Encrypt): four distinct plaintext
+// blocks under one key — a real multi-block KAT, so a lane swap or
+// round-key mixup in the pipelined path cannot cancel out. Run the four as
+// one batch and doubled to eight, the width the AES-NI path unrolls to.
+TEST_P(AesBackendSuite, EncryptBlocksMultiBlockKnownAnswers) {
+  const auto aes = make_aes_backend(
+      GetParam(), hex_block("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block pts[4] = {hex_block("6bc1bee22e409f96e93d7e117393172a"),
+                        hex_block("ae2d8a571e03ac9c9eb76fac45af8e51"),
+                        hex_block("30c81c46a35ce411e5fbc1191a0a52ef"),
+                        hex_block("f69f2445df4f9b17ad2b417be66c3710")};
+  const Block cts[4] = {hex_block("3ad77bb40d7a3660a89ecaf32466ef97"),
+                        hex_block("f5d3d58503b9699de785895a96fdbaaf"),
+                        hex_block("43b1cd7f598ece23881b00e3ed030688"),
+                        hex_block("7b0c785e27e8ad3f8223207104725dd4")};
+  Block out4[4];
+  aes->encrypt_blocks(pts, out4, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out4[i], cts[i]) << "lane " << i;
+  Block in8[8], out8[8];
+  for (int i = 0; i < 8; ++i) in8[i] = pts[i % 4];
+  aes->encrypt_blocks(in8, out8, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out8[i], cts[i % 4]) << "lane " << i;
+}
+
+// encrypt_blocks must be bit-identical to a serial encrypt() loop at every
+// batch size (partial tails, exact multiples of the 8-wide unroll, and the
+// recursive > 8 shapes the MAC batch path produces), including when the
+// caller aliases out onto in element-wise.
+TEST_P(AesBackendSuite, EncryptBlocksMatchesSerialLoopAnySize) {
+  const auto aes = make_aes_backend(GetParam(), test_key());
+  Rng rng(15);
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 23u}) {
+    std::vector<Block> in(n), out(n);
+    for (auto& block : in)
+      for (auto& b : block) b = static_cast<std::uint8_t>(rng.next_below(256));
+    aes->encrypt_blocks(in.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(out[i], aes->encrypt(in[i])) << "n=" << n << " i=" << i;
+    std::vector<Block> inplace = in;
+    aes->encrypt_blocks(inplace.data(), inplace.data(), n);
+    EXPECT_EQ(inplace, out) << "n=" << n << " (in-place)";
+  }
+}
+
+// verify_batch must reach exactly the serial loop's verdict: the index of
+// the first failing request in array order, or n when all pass — for both
+// the base-class serial fallback (CBC-MAC) and the multilinear pad-batched
+// override, across every backend.
+TEST_P(AesBackendSuite, VerifyBatchMatchesSerialVerdict) {
+  Rng rng(16);
+  for (const MacKind kind : {MacKind::kMultilinear, MacKind::kCbcMac}) {
+    const auto mac = make_mac_scheme(kind, test_key(), GetParam());
+    constexpr std::size_t kRequests = 12;  // > the 8-wide inline batch
+    std::vector<LineData> lines(kRequests);
+    std::vector<MacRequest> requests(kRequests);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      lines[i] = random_line(rng);
+      requests[i].address = 0x40 * (i + 1);
+      requests[i].version = i + 1;
+      requests[i].data = lines[i];
+      requests[i].expected_tag =
+          mac->tag(requests[i].address, requests[i].version, lines[i]);
+    }
+    EXPECT_EQ(mac->verify_batch(requests.data(), kRequests), kRequests);
+    // Two corrupted tags: the verdict is the FIRST in array order.
+    auto corrupted = requests;
+    corrupted[9].expected_tag ^= 1;
+    corrupted[5].expected_tag ^= 1;
+    EXPECT_EQ(mac->verify_batch(corrupted.data(), kRequests), 5u);
+    // Corrupted data fails the same way as a corrupted tag.
+    LineData flipped = lines[2];
+    flipped[0] ^= 1;
+    auto tampered = requests;
+    tampered[2].data = flipped;
+    EXPECT_EQ(mac->verify_batch(tampered.data(), kRequests), 2u);
+  }
+}
+
+// The batched pad path must account pad-cache hits and misses exactly like
+// the serial loop would for the same (distinct-nonce) request stream.
+TEST(PadCacheBatch, VerifyBatchCountsPadsLikeSerial) {
+  Rng rng(18);
+  constexpr std::size_t kRequests = 6;
+  std::vector<LineData> lines(kRequests);
+  std::vector<MacRequest> requests(kRequests);
+  const MultilinearMac oracle(test_key());
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    lines[i] = random_line(rng);
+    requests[i].address = 0x1000 + 0x40 * i;
+    requests[i].version = 1;
+    requests[i].data = lines[i];
+    requests[i].expected_tag =
+        oracle.tag(requests[i].address, requests[i].version, lines[i]);
+  }
+  const auto run = [&](auto&& verify) {
+    obs::Registry registry;
+    MultilinearMac mac(test_key());
+    const auto hit = registry.counter("crypto.pad", "hit");
+    const auto miss = registry.counter("crypto.pad", "miss");
+    mac.set_pad_counters(hit, miss);
+    verify(mac);  // cold: every pad misses
+    verify(mac);  // warm: every pad hits
+    return std::pair{hit.value(), miss.value()};
+  };
+  const auto serial = run([&](const MacScheme& mac) {
+    for (const auto& r : requests)
+      EXPECT_TRUE(mac.verify(r.address, r.version, r.data, r.expected_tag));
+  });
+  const auto batched = run([&](const MacScheme& mac) {
+    EXPECT_EQ(mac.verify_batch(requests.data(), kRequests), kRequests);
+  });
+  EXPECT_EQ(batched, serial);
+}
+
 TEST_P(AesBackendSuite, MacSchemesIdenticalAcrossBackends) {
   Rng rng(14);
   const LineData data = random_line(rng);

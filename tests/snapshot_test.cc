@@ -217,6 +217,59 @@ TEST(TestBedFork, MatchesFreshExecution) {
   EXPECT_EQ(fresh_counters, fork_counters);
 }
 
+// Fork-vs-fresh equivalence must survive the batched verify-walk and the
+// SoA cache planes, and the serial/batched choice must be invisible in
+// every observable: golden trace, channel result, and counter totals (pad
+// cache and mac-verify accounting included). One loop runs the whole
+// fork-vs-fresh protocol per walk mode, then the two modes are compared
+// against each other end to end.
+TEST(TestBedFork, ForkEquivalenceHoldsAcrossSerialAndBatchedWalks) {
+  std::vector<obs::TraceEvent> mode_events[2];
+  obs::CounterSnapshot mode_counters[2];
+  for (const bool batched : {false, true}) {
+    channel::TestBedConfig config = channel::default_testbed_config(4321);
+    config.system.mee.batched_walks = batched;
+    const channel::ChannelConfig channel_config;
+    const auto payload = channel::alternating_bits(12);
+
+    channel::TestBed donor(config);
+    const channel::ChannelSetup setup =
+        channel::setup_covert_channel(donor, channel_config);
+    ASSERT_TRUE(setup.monitor_found);
+    donor.quiesce_environment();
+    const channel::TestBedSnapshot snap = donor.snapshot();
+    donor.respawn_environment();
+
+    obs::CollectingSink fresh_sink;
+    donor.system().hub().set_trace_sink(&fresh_sink);
+    const channel::ChannelResult fresh = channel::transfer_covert_channel(
+        donor, channel_config, payload, setup);
+    donor.system().hub().set_trace_sink(nullptr);
+
+    channel::TestBed forked(config, snap);
+    obs::CollectingSink fork_sink;
+    forked.system().hub().set_trace_sink(&fork_sink);
+    const channel::ChannelResult replay = channel::transfer_covert_channel(
+        forked, channel_config, payload, setup);
+    forked.system().hub().set_trace_sink(nullptr);
+
+    EXPECT_EQ(fresh_sink.events(), fork_sink.events())
+        << "batched=" << batched;
+    EXPECT_EQ(fresh.received, replay.received) << "batched=" << batched;
+    EXPECT_EQ(fresh.probe_times, replay.probe_times) << "batched=" << batched;
+    EXPECT_EQ(donor.system().hub().registry().snapshot(),
+              forked.system().hub().registry().snapshot())
+        << "batched=" << batched;
+
+    mode_events[batched ? 1 : 0] = fresh_sink.events();
+    mode_counters[batched ? 1 : 0] = donor.system().hub().registry().snapshot();
+  }
+  // The batched walk is a host-side speedup only: byte-identical trace and
+  // equal counter totals versus the serial reference path.
+  EXPECT_EQ(mode_events[0], mode_events[1]);
+  EXPECT_EQ(mode_counters[0], mode_counters[1]);
+}
+
 TEST(TestBedFork, ForksFromOneSnapshotAreIndependent) {
   const channel::TestBedConfig config = channel::default_testbed_config(2026);
   const channel::ChannelConfig channel_config;
