@@ -25,15 +25,20 @@
 #include <string>
 #include <vector>
 
+#include <cinttypes>
+#include <optional>
+
 #include "cache/policy.h"
 #include "cache/replacement.h"
 #include "common/table.h"
 #include "perf_suite.h"
 #include "obs/trace.h"
+#include "runtime/campaign.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
 #include "runtime/registry.h"
 #include "runtime/runner.h"
+#include "runtime/setup_store.h"
 #include "runtime/sink.h"
 #include "runtime/sweep.h"
 
@@ -64,9 +69,24 @@ int usage(std::FILE* out) {
       "      --trace-sample N      keep every Nth trace event (default 1)\n"
       "      --no-reuse-setup      rebuild warm setup state for every trial\n"
       "                            instead of snapshot/fork sharing\n"
+      "      --setup-store DIR     on-disk warm-setup cache shared across\n"
+      "                            processes and shards\n"
+      "      --shard i/N           run only shard i of N (contiguous trial\n"
+      "                            range); writes shard JSONL + manifest\n"
+      "                            into --dir instead of --json\n"
+      "      --dir DIR             campaign directory (required with --shard)\n"
+      "      --resume              continue a partial shard from its\n"
+      "                            manifest watermark\n"
+      "      --stop-after K        commit at most K trials this invocation,\n"
+      "                            then exit (deterministic kill for tests)\n"
       "      --artifacts           print per-trial charts/tables even for "
       "sweeps\n"
       "      --quiet               no per-trial progress on stderr\n"
+      "  merge --dir DIR [--json PATH]\n"
+      "                            validate every shard of the campaign in\n"
+      "                            DIR and emit the merged JSONL (default\n"
+      "                            stdout) — byte-identical to the\n"
+      "                            unsharded --json stream\n"
       "  perf [options]            host hot-path timing suite\n"
       "      --out PATH            JSON report (default BENCH_hotpath.json,\n"
       "                            '-' = stdout)\n"
@@ -166,15 +186,67 @@ int cmd_describe(const std::string& name) {
   return 0;
 }
 
+void print_setup_stats(const runtime::SetupStats& stats) {
+  if (stats.builds + stats.memory_hits + stats.disk_hits == 0) return;
+  std::fprintf(stderr,
+               "setup reuse: %" PRIu64 " built, %" PRIu64 " memory hit%s, %" PRIu64
+               " disk hit%s\n",
+               stats.builds, stats.memory_hits,
+               stats.memory_hits == 1 ? "" : "s", stats.disk_hits,
+               stats.disk_hits == 1 ? "" : "s");
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  std::string dir, json_path = "-";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size())
+        throw runtime::ParamError(args[i] + " needs an argument");
+      return args[++i];
+    };
+    if (args[i] == "--dir") {
+      dir = value();
+    } else if (args[i] == "--json") {
+      json_path = value();
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", args[i].c_str());
+      return usage(stderr);
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "merge needs --dir DIR\n");
+    return 2;
+  }
+  runtime::MergeResult merged;
+  if (json_path == "-") {
+    merged = runtime::merge_campaign(dir, std::cout);
+    std::cout.flush();
+  } else {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    merged = runtime::merge_campaign(dir, out);
+  }
+  std::fprintf(stderr,
+               "merged %u shard%s, %zu trial%s (campaign %016" PRIx64 ")\n",
+               merged.shard_count, merged.shard_count == 1 ? "" : "s",
+               merged.trials, merged.trials == 1 ? "" : "s", merged.hash);
+  return 0;
+}
+
 int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   const runtime::Experiment& experiment = runtime::get_experiment(name);
 
   runtime::SweepSpec sweep;
   unsigned jobs = 1;
   std::string json_path, trace_path, trace_chrome_path;
-  std::uint64_t trace_sample = 1;
+  std::string shard_text, campaign_dir, setup_store_dir;
+  std::uint64_t trace_sample = 1, stop_after = 0;
   bool quiet = false, force_artifacts = false, show_counters = false;
-  bool reuse_setup = true;
+  bool reuse_setup = true, resume = false;
   const std::vector<std::string> rest =
       runtime::parse_sweep_args(args, &sweep);
   for (std::size_t i = 0; i < rest.size(); ++i) {
@@ -201,6 +273,16 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       reuse_setup = false;
     } else if (arg == "--reuse-setup") {
       reuse_setup = true;
+    } else if (arg == "--setup-store") {
+      setup_store_dir = value();
+    } else if (arg == "--shard") {
+      shard_text = value();
+    } else if (arg == "--dir") {
+      campaign_dir = value();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--stop-after") {
+      stop_after = runtime::parse_u64("--stop-after", value());
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--artifacts") {
@@ -209,6 +291,23 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(stderr);
     }
+  }
+
+  if (!shard_text.empty()) {
+    if (campaign_dir.empty()) {
+      std::fprintf(stderr, "--shard needs --dir DIR\n");
+      return 2;
+    }
+    if (!json_path.empty() || !trace_path.empty() ||
+        !trace_chrome_path.empty()) {
+      std::fprintf(stderr,
+                   "--shard writes the campaign directory; --json and "
+                   "--trace do not apply (use 'merge')\n");
+      return 2;
+    }
+  } else if (resume || stop_after != 0 || !campaign_dir.empty()) {
+    std::fprintf(stderr, "--dir/--resume/--stop-after require --shard i/N\n");
+    return 2;
   }
 
   const std::vector<runtime::TrialSpec> trials =
@@ -245,10 +344,16 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_out);
   }
 
-  std::size_t completed = 0;
+  std::size_t completed = 0, progress_total = trials.size();
   runtime::RunnerConfig runner;
   runner.jobs = jobs;
   runner.reuse_setup = reuse_setup;
+  std::optional<runtime::SetupStore> setup_store;
+  if (!setup_store_dir.empty()) {
+    setup_store.emplace(setup_store_dir,
+                        runtime::setup_store_config_hash(experiment.name));
+    runner.setup_store = &*setup_store;
+  }
   if (trace_sink) {
     if (trace_sample > 1)
       sampler = std::make_unique<obs::SamplingSink>(*trace_sink, trace_sample);
@@ -264,21 +369,44 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
         if (v) brief += ' ' + key + '=' + std::string(*v);
       }
       std::fprintf(stderr, "[%zu/%zu] trial %zu seed %llu%s: %s\n", completed,
-                   trials.size(), record.spec.trial_index,
+                   progress_total, record.spec.trial_index,
                    static_cast<unsigned long long>(record.spec.seed),
                    brief.c_str(),
                    record.ok ? "ok" : record.error.c_str());
     };
   }
 
+  if (!shard_text.empty()) {
+    runtime::CampaignShardOptions options;
+    options.shard = runtime::parse_shard(shard_text);
+    options.directory = campaign_dir;
+    options.resume = resume;
+    options.stop_after = stop_after;
+    options.runner = runner;
+    progress_total = runtime::shard_range(trials.size(), options.shard).size();
+    const runtime::CampaignShardResult shard =
+        runtime::run_campaign_shard(experiment, trials, options);
+    if (!quiet) {
+      print_setup_stats(shard.setup_stats);
+      std::fprintf(
+          stderr, "shard %u/%u: %zu/%zu trials committed%s%s\n",
+          options.shard.index, options.shard.count, shard.manifest.committed,
+          shard.manifest.trial_end - shard.manifest.trial_begin,
+          shard.resumed_from != 0 ? " (resumed)" : "",
+          shard.manifest.complete() ? "" : " — rerun with --resume to finish");
+    }
+    std::printf("%s",
+                runtime::summary_table(shard.records, columns).to_text().c_str());
+    for (const auto& record : shard.records)
+      if (!record.ok) return 1;
+    return 0;
+  }
+
   runtime::SetupStats setup_stats;
   const std::vector<runtime::TrialRecord> records =
       runtime::run_trials(experiment, trials, runner, &setup_stats);
   if (runner.trace_sink) runner.trace_sink->flush();
-  if (!quiet && setup_stats.misses > 0)
-    std::fprintf(stderr, "setup reuse: %llu shared setup%s across %zu trials\n",
-                 static_cast<unsigned long long>(setup_stats.misses),
-                 setup_stats.misses == 1 ? "" : "s", trials.size());
+  if (!quiet) print_setup_stats(setup_stats);
 
   // With --json - the JSONL stream owns stdout; human output moves to stderr.
   std::FILE* human = json_path == "-" ? stderr : stdout;
@@ -338,6 +466,7 @@ int main(int argc, char** argv) {
       if (args.size() < 2) return usage(stderr);
       return cmd_run(args[1], {args.begin() + 2, args.end()});
     }
+    if (args[0] == "merge") return cmd_merge({args.begin() + 1, args.end()});
     if (args[0] == "perf") return cmd_perf({args.begin() + 1, args.end()});
     std::fprintf(stderr, "unknown command '%s'\n", args[0].c_str());
     return usage(stderr);

@@ -9,7 +9,7 @@
 # diff, counters JSONL); build trees also leave obs_artifacts/ dirs behind.
 set -euo pipefail
 
-# Usage: build_and_test.sh [all|hardened|perf|nosimd]
+# Usage: build_and_test.sh [all|hardened|perf|nosimd|shard]
 #   all       (default) plain + sanitized builds, full suite, determinism smoke
 #   hardened  warnings-hardened configuration only (-Wall -Wextra -Wshadow
 #             -Werror); runs as its own CI job so shadowing regressions fail
@@ -21,6 +21,11 @@ set -euo pipefail
 #   nosimd    -DMEECC_NO_SIMD=ON build (portable scalar tag probe); runs the
 #             unit and golden-trace tiers so the scalar cache-probe path
 #             proves the same golden traces as the SIMD one
+#   shard     sharded-campaign fabric end to end: run a small sweep as three
+#             shards (one killed mid-run via --stop-after and resumed),
+#             merge, and diff against the unsharded JSONL; then rerun the
+#             sweep purely from the on-disk setup store the shards left
+#             behind. Shard manifests land in $ROOT/ci-artifacts on failure.
 STAGE="${1:-all}"
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,6 +39,14 @@ collect_artifacts() {
   for dir in "$ROOT"/build-ci-*/obs_artifacts; do
     [ -d "$dir" ] && cp -r "$dir" "$ARTIFACTS/$(basename "$(dirname "$dir")")-obs" || true
   done
+  # Shard manifests describe exactly what each campaign shard committed;
+  # the shard stage deletes its campaign dir on success, so these only
+  # survive (and upload) when the stage failed.
+  if [ -d "$ROOT/build-ci-shard/campaign" ]; then
+    mkdir -p "$ARTIFACTS/shard-campaign"
+    cp "$ROOT"/build-ci-shard/campaign/*.manifest.json \
+      "$ARTIFACTS/shard-campaign/" 2> /dev/null || true
+  fi
 }
 trap collect_artifacts EXIT
 
@@ -78,13 +91,73 @@ elif [ "$STAGE" = "nosimd" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_WERROR=ON -DMEECC_NO_SIMD=ON
   cmake --build "$DIR" -j "$JOBS"
   # Unit tier plus the golden traces: byte-identical traces from the scalar
-  # find_slot path is the gate that SIMD never changed behavior.
+  # find_slot path is the gate that SIMD never changed behavior. The
+  # serialize round-trip rides along so snapshot wire bytes are proven
+  # backend-invariant on the scalar path too.
   ctest --test-dir "$DIR" --output-on-failure -j "$JOBS" -L unit
   "$DIR/tests/golden_trace_test"
+  "$DIR/tests/serialize_test"
   echo "CI OK (nosimd)"
   exit 0
+elif [ "$STAGE" = "shard" ]; then
+  echo "=== sharded campaign fabric (kill, resume, merge, setup store) ==="
+  DIR="$ROOT/build-ci-shard"
+  cmake -B "$DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_WERROR=ON
+  cmake --build "$DIR" -j "$JOBS" --target meecc_bench
+  BENCH="$DIR/bench/meecc_bench"
+  CAMPAIGN="$DIR/campaign"
+  STORE="$DIR/setup-store"
+  rm -rf "$CAMPAIGN" "$STORE"
+  # mitigations is the sweep with a setup_key, so the shards genuinely
+  # exercise the snapshot serialization path through the on-disk store.
+  # No --quiet: the "setup reuse" stderr line is asserted on below.
+  SWEEP=(run mitigations --seeds 3)
+
+  echo "--- unsharded reference (6 trials) ---"
+  "$BENCH" "${SWEEP[@]}" --jobs 4 --json "$DIR/reference.jsonl" > /dev/null
+
+  echo "--- shards 1/3 and 3/3 to completion, 2/3 killed after one trial ---"
+  "$BENCH" "${SWEEP[@]}" --jobs 1 --setup-store "$STORE" \
+    --shard 1/3 --dir "$CAMPAIGN"
+  "$BENCH" "${SWEEP[@]}" --jobs 4 --setup-store "$STORE" \
+    --shard 3/3 --dir "$CAMPAIGN"
+  "$BENCH" "${SWEEP[@]}" --jobs 1 --setup-store "$STORE" \
+    --shard 2/3 --dir "$CAMPAIGN" --stop-after 1
+
+  echo "--- merge must refuse the partial campaign ---"
+  if "$BENCH" merge --dir "$CAMPAIGN" --json "$DIR/merged.jsonl" 2> /dev/null; then
+    echo "merge accepted a campaign with an incomplete shard" >&2
+    exit 1
+  fi
+
+  echo "--- resume the killed shard from its manifest watermark ---"
+  "$BENCH" "${SWEEP[@]}" --jobs 4 --setup-store "$STORE" \
+    --shard 2/3 --dir "$CAMPAIGN" --resume
+
+  echo "--- merge and diff against the unsharded JSONL ---"
+  "$BENCH" merge --dir "$CAMPAIGN" --json "$DIR/merged.jsonl"
+  cmp "$DIR/reference.jsonl" "$DIR/merged.jsonl"
+  echo "merged 3 shards byte-identical to the unsharded run"
+
+  echo "--- unsharded rerun served entirely from the shards' setup store ---"
+  SETUP_LINE=$("$BENCH" "${SWEEP[@]}" --jobs 4 --setup-store "$STORE" \
+    --json "$DIR/from-store.jsonl" 2>&1 | grep 'setup reuse' || true)
+  echo "$SETUP_LINE"
+  case "$SETUP_LINE" in
+    *"0 built"*) ;;
+    *)
+      echo "expected every warm setup to come off disk, got: '$SETUP_LINE'" >&2
+      exit 1
+      ;;
+  esac
+  cmp "$DIR/reference.jsonl" "$DIR/from-store.jsonl"
+  echo "disk-loaded snapshots reproduce the reference byte for byte"
+
+  rm -rf "$CAMPAIGN"  # keep manifests out of the artifact upload on success
+  echo "CI OK (shard)"
+  exit 0
 elif [ "$STAGE" != "all" ]; then
-  echo "unknown stage '$STAGE' (expected: all, hardened, perf, nosimd)" >&2
+  echo "unknown stage '$STAGE' (expected: all, hardened, perf, nosimd, shard)" >&2
   exit 2
 fi
 

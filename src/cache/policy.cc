@@ -65,6 +65,7 @@ class KeyedIndexing final : public IndexingPolicy {
     return keyed_line_permutation(line, key_) & mask_;
   }
   void rekey(std::uint64_t fresh_key) override { key_ = fresh_key; }
+  std::optional<std::uint64_t> current_key() const override { return key_; }
 
   std::unique_ptr<IndexingPolicy> clone() const override {
     return std::make_unique<KeyedIndexing>(*this);
@@ -100,6 +101,7 @@ class SkewedIndexing final : public IndexingPolicy {
   }
   bool way_dependent() const override { return partitions_ > 1; }
   void rekey(std::uint64_t fresh_key) override { key_ = fresh_key; }
+  std::optional<std::uint64_t> current_key() const override { return key_; }
 
   std::unique_ptr<IndexingPolicy> clone() const override {
     return std::make_unique<SkewedIndexing>(*this);

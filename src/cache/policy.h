@@ -84,6 +84,13 @@ class IndexingPolicy {
   /// keyless designs.
   virtual void rekey(std::uint64_t fresh_key) { (void)fresh_key; }
 
+  /// Current permutation key, if the design has one. Snapshot serialization
+  /// stores this and replays it through rekey() on decode, so a rekeyed
+  /// cache round-trips without the snapshot knowing the policy's internals.
+  virtual std::optional<std::uint64_t> current_key() const {
+    return std::nullopt;
+  }
+
   /// Deep copy including the current key (snapshot/fork support). The
   /// default returns nullptr; externally registered policies that don't
   /// override it make the owning cache uncopyable (SetAssocCache's copy

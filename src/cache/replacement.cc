@@ -4,6 +4,7 @@
 #include <bit>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/check.h"
 
 namespace meecc::cache {
@@ -51,6 +52,14 @@ std::vector<std::string> replacement_names() {
   return names;
 }
 
+void ReplacementPolicy::encode_state(io::Writer&) const {
+  throw CheckFailure("replacement policy does not implement encode_state()");
+}
+
+void ReplacementPolicy::decode_state(io::Reader&) {
+  throw CheckFailure("replacement policy does not implement decode_state()");
+}
+
 namespace {
 
 /// True LRU via use timestamps.
@@ -75,6 +84,16 @@ class LruPolicy final : public ReplacementPolicy {
 
   std::unique_ptr<ReplacementPolicy> clone() const override {
     return std::make_unique<LruPolicy>(*this);
+  }
+
+  void encode_state(io::Writer& w) const override {
+    w.u64(clock_);
+    for (const std::uint64_t stamp : stamp_) w.u64(stamp);
+  }
+
+  void decode_state(io::Reader& r) override {
+    clock_ = r.u64();
+    for (auto& stamp : stamp_) stamp = r.u64();
   }
 
  private:
@@ -137,6 +156,14 @@ class TreePlruPolicy final : public ReplacementPolicy {
     return std::make_unique<TreePlruPolicy>(*this);
   }
 
+  void encode_state(io::Writer& w) const override {
+    for (const std::uint8_t bit : bits_) w.u8(bit);
+  }
+
+  void decode_state(io::Reader& r) override {
+    for (auto& bit : bits_) bit = r.u8();
+  }
+
  private:
   std::uint32_t ways_;
   std::uint32_t depth_;  // log2(ways)
@@ -178,6 +205,17 @@ class NruPolicy final : public ReplacementPolicy {
     return std::make_unique<NruPolicy>(*this);
   }
 
+  void encode_state(io::Writer& w) const override {
+    for (const bool bit : referenced_) w.u8(bit ? 1 : 0);
+    encode_rng(w, rng_);
+  }
+
+  void decode_state(io::Reader& r) override {
+    for (std::size_t i = 0; i < referenced_.size(); ++i)
+      referenced_[i] = r.u8() != 0;
+    rng_ = decode_rng(r);
+  }
+
  private:
   std::vector<bool> referenced_;
   Rng rng_;
@@ -196,6 +234,9 @@ class RandomPolicy final : public ReplacementPolicy {
   std::unique_ptr<ReplacementPolicy> clone() const override {
     return std::make_unique<RandomPolicy>(*this);
   }
+
+  void encode_state(io::Writer& w) const override { encode_rng(w, rng_); }
+  void decode_state(io::Reader& r) override { rng_ = decode_rng(r); }
 
  private:
   std::uint32_t ways_;

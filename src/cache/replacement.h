@@ -44,6 +44,15 @@ class ReplacementPolicy {
   /// Deep copy including RNG state, so a forked cache replays the same
   /// victim/tie-break stream as the original (snapshot/fork support).
   virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
+
+  /// Snapshot wire format: writes/overwrites the policy's mutable state
+  /// only — the shape (kind, way count) is rebuilt by the caller from
+  /// config, so decode_state is called on a freshly constructed policy of
+  /// the same kind and ways. The defaults throw CheckFailure: an externally
+  /// registered policy without codec support makes the owning cache
+  /// unserializable, mirroring the clone() contract.
+  virtual void encode_state(io::Writer& w) const;
+  virtual void decode_state(io::Reader& r);
 };
 
 /// Factory. `rng` is consumed by stochastic policies (kRandom, NRU tie-break).

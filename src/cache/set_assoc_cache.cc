@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "cache/tag_probe.h"
+#include "common/bytes.h"
 #include "common/check.h"
 
 namespace meecc::cache {
@@ -347,6 +348,50 @@ void SetAssocCache::reset_stats() {
   // stats_.evictions (property_test asserts the sum); resetting one without
   // the other let them drift.
   std::fill(set_evictions_.begin(), set_evictions_.end(), 0);
+}
+
+void SetAssocCache::encode_state(io::Writer& w) const {
+  if (const auto key = indexing_->current_key()) {
+    w.u8(1);
+    w.u64(*key);
+  } else {
+    w.u8(0);
+  }
+  for (const std::uint64_t tag : tags_) w.u64(tag);
+  for (const std::uint64_t mask : valid_) w.u64(mask);
+  if (flat_plru_) {
+    for (const std::uint64_t word : plru_) w.u64(word);
+  } else {
+    for (const auto& policy : policy_) policy->encode_state(w);
+  }
+  for (const std::uint64_t tally : set_evictions_) w.u64(tally);
+  w.u64(stats_.hits);
+  w.u64(stats_.misses);
+  w.u64(stats_.evictions);
+  w.u64(stats_.invalidations);
+  encode_rng(w, rng_);
+}
+
+void SetAssocCache::decode_state(io::Reader& r) {
+  if (r.u8() != 0) {
+    // Replaying the stored key through rekey() keeps the policy's key
+    // private; the derived shortcuts must be rebuilt afterwards.
+    indexing_->rekey(r.u64());
+    refresh_indexing_shortcuts();
+  }
+  for (auto& tag : tags_) tag = r.u64();
+  for (auto& mask : valid_) mask = r.u64();
+  if (flat_plru_) {
+    for (auto& word : plru_) word = r.u64();
+  } else {
+    for (auto& policy : policy_) policy->decode_state(r);
+  }
+  for (auto& tally : set_evictions_) tally = r.u64();
+  stats_.hits = r.u64();
+  stats_.misses = r.u64();
+  stats_.evictions = r.u64();
+  stats_.invalidations = r.u64();
+  rng_ = decode_rng(r);
 }
 
 std::uint32_t SetAssocCache::occupancy(std::uint64_t set) const {

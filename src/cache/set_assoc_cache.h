@@ -122,6 +122,15 @@ class SetAssocCache {
     return set_evictions_;
   }
 
+  /// Snapshot wire format: writes / overwrites the mutable payload (tag and
+  /// meta planes, PLRU words or per-set policy state, indexing key, per-set
+  /// eviction tallies, stats, cache-level RNG). decode_state() runs on a
+  /// cache freshly constructed from the same geometry + config — the shape
+  /// (plane sizes, policy kinds, precomputed masks) comes from construction,
+  /// never from the wire.
+  void encode_state(io::Writer& w) const;
+  void decode_state(io::Reader& r);
+
  private:
   /// Empty-slot sentinel. Slots store the full line index (addr /
   /// line_size) whole — a truncated tag cannot reconstruct the evicted

@@ -1,8 +1,12 @@
 #include "channel/testbed.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
+#include "common/bytes.h"
 #include "common/check.h"
+#include "sim/snapshot_io.h"
 
 namespace meecc::channel {
 
@@ -196,6 +200,46 @@ TestBedSnapshot TestBed::snapshot() {
                   {background_actor_->now(), background_actor_->rng(),
                    background_actor_->vas()}}},
       .noise_started = noise_started_};
+}
+
+void encode_testbed_snapshot(io::Writer& w, sim::System& shape,
+                             const TestBedSnapshot& snap) {
+  sim::encode_snapshot(w, shape, snap.system);
+  for (const auto& actor : snap.actors) {
+    w.u64(actor.clock);
+    encode_rng(w, actor.rng);
+    const auto pages = actor.vas.sorted_pages();
+    w.u64(pages.size());
+    for (const auto& [vpn, pfn] : pages) {
+      w.u64(vpn);
+      w.u64(pfn);
+    }
+  }
+  w.u8(snap.noise_started ? 1 : 0);
+}
+
+TestBedSnapshot decode_testbed_snapshot(io::Reader& r, sim::System& shape) {
+  // Actor states are spelled out (not brace-elided) because Rng's
+  // constructor is explicit; every field is overwritten below anyway.
+  TestBedSnapshot::ActorState blank{0, Rng(), mem::VirtualAddressSpace()};
+  TestBedSnapshot snap{.system = sim::decode_snapshot(r, shape),
+                       .actors = {{blank, blank, blank, blank}},
+                       .noise_started = false};
+  for (auto& actor : snap.actors) {
+    actor.clock = r.u64();
+    actor.rng = decode_rng(r);
+    const std::uint64_t page_count = r.u64();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pages;
+    pages.reserve(static_cast<std::size_t>(page_count));
+    for (std::uint64_t i = 0; i < page_count; ++i) {
+      const std::uint64_t vpn = r.u64();
+      const std::uint64_t pfn = r.u64();
+      pages.emplace_back(vpn, pfn);
+    }
+    actor.vas.import_pages(pages);
+  }
+  snap.noise_started = r.u8() != 0;
+  return snap;
 }
 
 void TestBed::run_until_flag(const bool& done, Cycles max_cycles) {

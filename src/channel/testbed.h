@@ -70,6 +70,14 @@ struct TestBedSnapshot {
   bool noise_started = false;
 };
 
+/// Snapshot wire format for a full bed: the machine snapshot plus each
+/// actor's clock/RNG/address space (pages in sorted order — canonical
+/// bytes) and the deferred-noise flag. `shape` must be a System built from
+/// the donor bed's system config; see sim/snapshot_io.h for the contract.
+void encode_testbed_snapshot(io::Writer& w, sim::System& shape,
+                             const TestBedSnapshot& snap);
+TestBedSnapshot decode_testbed_snapshot(io::Reader& r, sim::System& shape);
+
 class TestBed {
  public:
   explicit TestBed(const TestBedConfig& config);

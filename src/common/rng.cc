@@ -1,8 +1,10 @@
 #include "common/rng.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
+#include "common/bytes.h"
 #include "common/check.h"
 
 namespace meecc {
@@ -96,5 +98,36 @@ double Rng::next_gaussian(double mean, double stddev) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[static_cast<std::size_t>(i)] = s_[i];
+  st.gaussian_bits = std::bit_cast<std::uint64_t>(cached_gaussian_);
+  st.has_gaussian = has_cached_gaussian_;
+  return st;
+}
+
+Rng Rng::from_state(const RngState& state) {
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.s_[i] = state.s[static_cast<std::size_t>(i)];
+  rng.cached_gaussian_ = std::bit_cast<double>(state.gaussian_bits);
+  rng.has_cached_gaussian_ = state.has_gaussian;
+  return rng;
+}
+
+void encode_rng(io::Writer& w, const Rng& rng) {
+  const RngState st = rng.state();
+  for (const std::uint64_t word : st.s) w.u64(word);
+  w.u64(st.gaussian_bits);
+  w.u8(st.has_gaussian ? 1 : 0);
+}
+
+Rng decode_rng(io::Reader& r) {
+  RngState st;
+  for (auto& word : st.s) word = r.u64();
+  st.gaussian_bits = r.u64();
+  st.has_gaussian = r.u8() != 0;
+  return Rng::from_state(st);
+}
 
 }  // namespace meecc

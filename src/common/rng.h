@@ -5,10 +5,25 @@
 // speed; seeding goes through SplitMix64 as its authors recommend.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace meecc {
+
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
+
+/// Full mutable state of an Rng, exposed for snapshot serialization. The
+/// cached Box–Muller deviate rides along as raw bits so a round trip is
+/// bit-exact even for doubles without a short decimal form.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  std::uint64_t gaussian_bits = 0;
+  bool has_gaussian = false;
+};
 
 class Rng {
  public:
@@ -48,10 +63,18 @@ class Rng {
   /// Derive an independent stream (for per-agent RNGs).
   Rng fork();
 
+  /// Capture / rebuild the exact generator state (snapshot wire format).
+  RngState state() const;
+  static Rng from_state(const RngState& state);
+
  private:
   std::uint64_t s_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;
 };
+
+/// Rng wire codec: 4 state words, gaussian bits, has-gaussian flag.
+void encode_rng(io::Writer& w, const Rng& rng);
+Rng decode_rng(io::Reader& r);
 
 }  // namespace meecc

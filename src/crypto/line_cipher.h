@@ -54,6 +54,10 @@ class LineCipher {
     cache_.adopt_contents(state);
   }
 
+  /// Serialized counterparts for the snapshot wire format.
+  void encode_pad_state(io::Writer& w) const { cache_.encode_state(w); }
+  void decode_pad_state(io::Reader& r) { cache_.decode_state(r); }
+
  private:
   LineData compute_keystream(std::uint64_t address,
                              std::uint64_t version) const;

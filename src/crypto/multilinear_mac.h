@@ -77,6 +77,13 @@ class MacScheme {
     return nullptr;
   }
   virtual void import_pad_state(const void* /*state*/) {}
+
+  /// Serialized counterparts of export/import_pad_state for the snapshot
+  /// wire format. Schemes without a pad cache write/read nothing — both
+  /// sides of a round trip must agree on the scheme kind (the config hash
+  /// guarantees it).
+  virtual void encode_pad_state(io::Writer& /*w*/) const {}
+  virtual void decode_pad_state(io::Reader& /*r*/) {}
 };
 
 enum class MacKind {
@@ -114,6 +121,11 @@ class MultilinearMac final : public MacScheme {
       pad_cache_.adopt_contents(
           *static_cast<const PadCache<std::uint64_t>*>(state));
   }
+
+  void encode_pad_state(io::Writer& w) const override {
+    pad_cache_.encode_state(w);
+  }
+  void decode_pad_state(io::Reader& r) override { pad_cache_.decode_state(r); }
 
  private:
   std::uint64_t pad(std::uint64_t address, std::uint64_t version) const;

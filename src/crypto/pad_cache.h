@@ -13,13 +13,28 @@
 // uncached runs produce byte-identical simulation results.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "obs/counters.h"
 
 namespace meecc::crypto {
+
+/// Pad wire codec — one overload per pad type the MEE uses (64-bit MAC pads
+/// and 64-byte keystream lines).
+inline void encode_pad(io::Writer& w, std::uint64_t pad) { w.u64(pad); }
+inline void decode_pad(io::Reader& r, std::uint64_t& pad) { pad = r.u64(); }
+template <std::size_t N>
+void encode_pad(io::Writer& w, const std::array<std::uint8_t, N>& pad) {
+  w.bytes(pad.data(), N);
+}
+template <std::size_t N>
+void decode_pad(io::Reader& r, std::array<std::uint8_t, N>& pad) {
+  r.bytes(pad.data(), N);
+}
 
 template <typename Pad>
 class PadCache {
@@ -66,6 +81,41 @@ class PadCache {
     slots_ = other.slots_;
     enabled_ = other.enabled_;
     entries_ = other.entries_;
+  }
+
+  /// Snapshot wire format: residents + enabled flag + slot count. Counter
+  /// handles stay local, mirroring adopt_contents(). Invalid entries are
+  /// stored as one flag byte — a direct-mapped slot only ever transitions
+  /// default → valid, so eliding them loses nothing.
+  void encode_state(io::Writer& w) const {
+    w.u64(slots_);
+    w.u8(enabled_ ? 1 : 0);
+    w.u8(entries_.empty() ? 0 : 1);
+    for (const Entry& entry : entries_) {
+      w.u8(entry.valid ? 1 : 0);
+      if (!entry.valid) continue;
+      w.u64(entry.address);
+      w.u64(entry.version);
+      encode_pad(w, entry.pad);
+    }
+  }
+
+  void decode_state(io::Reader& r) {
+    const std::uint64_t slots = r.u64();
+    if (slots == 0 || (slots & (slots - 1)) != 0)
+      throw io::DecodeError("pad-cache slot count is not a power of two");
+    slots_ = static_cast<std::size_t>(slots);
+    enabled_ = r.u8() != 0;
+    entries_.clear();
+    if (r.u8() == 0) return;  // donor never allocated its slot table
+    entries_.resize(slots_);
+    for (Entry& entry : entries_) {
+      if (r.u8() == 0) continue;
+      entry.address = r.u64();
+      entry.version = r.u64();
+      decode_pad(r, entry.pad);
+      entry.valid = true;
+    }
   }
 
   /// Installs the pad for the nonce (no-op when disabled).

@@ -160,6 +160,9 @@ class MeeEngine {
   const TreeGeometry& geometry() const { return geometry_; }
   const cache::SetAssocCache& cache() const { return cache_; }
   cache::SetAssocCache& mutable_cache() { return cache_; }
+  /// The MAC scheme. Snapshot serialization borrows it to encode/decode the
+  /// type-erased pad state a State carries (sim/snapshot_io.cc).
+  crypto::MacScheme& mac_scheme() { return *mac_; }
   /// Snapshot of the walk counters (single source of truth; see MeeStats).
   MeeStats stats() const;
   const MeeConfig& config() const { return config_; }

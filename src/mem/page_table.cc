@@ -1,5 +1,7 @@
 #include "mem/page_table.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace meecc::mem {
@@ -30,6 +32,20 @@ std::optional<PhysAddr> VirtualAddressSpace::try_translate(
 
 bool VirtualAddressSpace::is_mapped(VirtAddr addr) const {
   return table_.contains(addr.page_number());
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+VirtualAddressSpace::sorted_pages() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pages(table_.begin(),
+                                                             table_.end());
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+void VirtualAddressSpace::import_pages(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& pages) {
+  table_.clear();
+  for (const auto& [vpn, pfn] : pages) table_.emplace(vpn, pfn);
 }
 
 }  // namespace meecc::mem

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -29,6 +31,15 @@ class VirtualAddressSpace {
 
   bool is_mapped(VirtAddr addr) const;
   std::size_t mapped_pages() const { return table_.size(); }
+
+  /// (vpn, pfn) pairs sorted by vpn — the canonical order the snapshot wire
+  /// format needs (unordered_map iteration order is host-dependent, and
+  /// serialized bytes must be identical across hosts).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted_pages() const;
+
+  /// Replaces the table with exported pairs (snapshot decode).
+  void import_pages(
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& pages);
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> table_;  // vpn -> pfn

@@ -19,12 +19,14 @@
 #include "channel/covert_channel.h"
 #include "channel/mitigation.h"
 #include "channel/testbed.h"
+#include "common/bytes.h"
 #include "common/check.h"
 #include "obs/scope.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
 #include "runtime/registry.h"
 #include "runtime/setup_cache.h"
+#include "sim/snapshot_io.h"
 
 namespace meecc::runtime {
 
@@ -91,6 +93,54 @@ std::shared_ptr<const ChannelWarmState> warm_channel_setup(
       .bed = bed.snapshot(), .setup = setup, .setup_ok = setup_ok});
 }
 
+/// Wire codec for ChannelWarmState (the on-disk setup store): the bed
+/// snapshot through channel/sim snapshot_io, then the discovered channel
+/// artifacts. Both directions build a scratch shape System from `config` —
+/// cheap next to the Algorithm 1 run the stored state replaces.
+std::string encode_warm_state(const channel::TestBedConfig& config,
+                              const ChannelWarmState& state) {
+  sim::System shape(config.system);
+  io::Writer w;
+  channel::encode_testbed_snapshot(w, shape, state.bed);
+  const auto encode_addrs = [&w](const std::vector<VirtAddr>& addrs) {
+    w.u64(addrs.size());
+    for (const auto addr : addrs) w.u64(addr.raw);
+  };
+  encode_addrs(state.setup.eviction.eviction_set);
+  encode_addrs(state.setup.eviction.index_set);
+  w.u64(state.setup.eviction.test_address.raw);
+  w.u8(state.setup.eviction.found_test_address ? 1 : 0);
+  w.u8(state.setup.eviction.done ? 1 : 0);
+  w.u64(state.setup.monitor.raw);
+  w.u8(state.setup.monitor_found ? 1 : 0);
+  w.u8(state.setup_ok ? 1 : 0);
+  return w.take();
+}
+
+std::shared_ptr<const ChannelWarmState> decode_warm_state(
+    const channel::TestBedConfig& config, std::string_view payload) {
+  sim::System shape(config.system);
+  io::Reader r(payload);
+  auto state = std::make_shared<ChannelWarmState>(
+      ChannelWarmState{.bed = channel::decode_testbed_snapshot(r, shape),
+                       .setup = {},
+                       .setup_ok = false});
+  const auto decode_addrs = [&r](std::vector<VirtAddr>& addrs) {
+    addrs.resize(static_cast<std::size_t>(r.u64()));
+    for (auto& addr : addrs) addr = VirtAddr{r.u64()};
+  };
+  decode_addrs(state->setup.eviction.eviction_set);
+  decode_addrs(state->setup.eviction.index_set);
+  state->setup.eviction.test_address = VirtAddr{r.u64()};
+  state->setup.eviction.found_test_address = r.u8() != 0;
+  state->setup.eviction.done = r.u8() != 0;
+  state->setup.monitor = VirtAddr{r.u64()};
+  state->setup.monitor_found = r.u8() != 0;
+  state->setup_ok = r.u8() != 0;
+  r.expect_done();
+  return state;
+}
+
 /// End-to-end attack attempt (Algorithm 1 + discovery + Algorithm 2) for
 /// `spec` with `seed`. The setup phase is fetched through the memoized warm
 /// state and the measure phase ALWAYS runs on a fork — with or without an
@@ -101,7 +151,13 @@ ChannelOutcome attempt_channel(const TrialSpec& spec, std::uint64_t seed,
   channel::TestBedConfig config = make_testbed_config(spec);
   config.system.seed = seed;
   const auto warm = memoized_setup<ChannelWarmState>(
-      warm_key_for(spec, seed), [&] { return warm_channel_setup(config); });
+      warm_key_for(spec, seed), [&] { return warm_channel_setup(config); },
+      [&](const ChannelWarmState& state) {
+        return encode_warm_state(config, state);
+      },
+      [&](std::string_view payload) {
+        return decode_warm_state(config, payload);
+      });
   channel::TestBed bed(config, warm->bed);
   ChannelOutcome outcome;
   if (warm->setup_ok) {

@@ -72,6 +72,7 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
   const bool reuse =
       config.reuse_setup && experiment.setup_key && config.trace_sink == nullptr;
   SetupCache setup_cache;
+  if (reuse) setup_cache.attach_store(config.setup_store);
   SetupCache* cache_ptr = reuse ? &setup_cache : nullptr;
 
   std::mutex callback_mutex;
@@ -101,7 +102,9 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
       for (const auto& buffer : buffers) buffer.replay_into(*config.trace_sink);
   }
   if (stats != nullptr)
-    *stats = SetupStats{.hits = setup_cache.hits(), .misses = setup_cache.misses()};
+    *stats = SetupStats{.memory_hits = setup_cache.memory_hits(),
+                        .disk_hits = setup_cache.disk_hits(),
+                        .builds = setup_cache.builds()};
   return records;
 }
 

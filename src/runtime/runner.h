@@ -17,6 +17,8 @@
 
 namespace meecc::runtime {
 
+class SetupStore;
+
 struct TrialRecord {
   TrialSpec spec;
   TrialResult result;  ///< valid when ok
@@ -45,18 +47,25 @@ struct RunnerConfig {
   /// trace events fire once per shared state, not once per trial, so a
   /// reused --trace run would not diff clean against a fresh one.
   bool reuse_setup = true;
+  /// Borrowed on-disk setup tier (setup_store.h); attached to the sweep's
+  /// SetupCache when reuse is active, so warm states survive the process
+  /// and are shared across shards. Null = in-memory reuse only.
+  SetupStore* setup_store = nullptr;
 };
 
-/// Sweep-wide setup-reuse statistics (zeros when reuse was off).
+/// Sweep-wide setup-reuse statistics (zeros when reuse was off). A warm
+/// state is resolved exactly one way per (process, key): found in memory,
+/// loaded from the attached SetupStore, or built fresh.
 struct SetupStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t builds = 0;
 };
 
 /// Runs every trial through experiment.run. A throwing trial is recorded
 /// (ok=false, error=what()) without aborting the sweep. The returned vector
 /// is in trial order regardless of completion order. `stats`, when
-/// non-null, receives the sweep's setup-cache hit/miss counts.
+/// non-null, receives the sweep's setup-cache resolution counts.
 std::vector<TrialRecord> run_trials(const Experiment& experiment,
                                     const std::vector<TrialSpec>& trials,
                                     const RunnerConfig& config,

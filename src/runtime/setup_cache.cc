@@ -1,14 +1,26 @@
 #include "runtime/setup_cache.h"
 
+#include <utility>
+
+#include "common/bytes.h"
 #include "obs/scope.h"
+#include "runtime/setup_store.h"
 
 namespace meecc::runtime {
 
+void SetupCache::attach_store(SetupStore* store) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_ = store;
+}
+
 std::shared_ptr<const void> SetupCache::get_or_build(const std::string& key,
-                                                     const Builder& builder) {
+                                                     const Builder& builder,
+                                                     const Encoder& encoder,
+                                                     const Decoder& decoder) {
   std::promise<std::shared_ptr<const void>> promise;
   std::shared_future<std::shared_ptr<const void>> future;
   bool build_here = false;
+  SetupStore* store = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
@@ -16,18 +28,51 @@ std::shared_ptr<const void> SetupCache::get_or_build(const std::string& key,
       future = promise.get_future().share();
       entries_.emplace(key, future);
       build_here = true;
-      ++misses_;
+      store = store_;
     } else {
       future = it->second;
-      ++hits_;
+      ++memory_hits_;
     }
   }
   if (build_here) {
     try {
       // Shield scope: the setup machine's counters and traces belong to no
-      // single trial.
+      // single trial — and neither do a disk load's decode side effects.
       obs::TrialScope shield(nullptr);
-      promise.set_value(builder());
+
+      std::shared_ptr<const void> state;
+      if (store != nullptr && decoder != nullptr) {
+        SetupStore::LoadResult loaded = store->load(key);
+        if (loaded.status == SetupStore::Lookup::kHit) {
+          try {
+            state = decoder(*loaded.payload);
+          } catch (const io::DecodeError& e) {
+            // A frame that passed every check but decodes wrong was written
+            // by incompatible code; fall back to a fresh build.
+            state = nullptr;
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++disk_rejects_["decode-error"];
+            (void)e;
+          }
+          if (state != nullptr) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++disk_hits_;
+          }
+        } else if (loaded.status != SetupStore::Lookup::kAbsent) {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++disk_rejects_[std::string(to_string(loaded.status))];
+        }
+      }
+      if (state == nullptr) {
+        state = builder();
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++builds_;
+        }
+        if (store != nullptr && encoder != nullptr && state != nullptr)
+          store->store(key, encoder(state.get()));  // best-effort
+      }
+      promise.set_value(std::move(state));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
@@ -40,14 +85,24 @@ std::size_t SetupCache::size() const {
   return entries_.size();
 }
 
-std::uint64_t SetupCache::hits() const {
+std::uint64_t SetupCache::memory_hits() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  return memory_hits_;
 }
 
-std::uint64_t SetupCache::misses() const {
+std::uint64_t SetupCache::disk_hits() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  return disk_hits_;
+}
+
+std::uint64_t SetupCache::builds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return builds_;
+}
+
+std::map<std::string, std::uint64_t> SetupCache::disk_rejects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return disk_rejects_;
 }
 
 namespace {

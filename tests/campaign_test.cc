@@ -1,0 +1,337 @@
+// Shard/merge determinism matrix: the merged output of every shard split
+// ({1/1}, {i/2}, {i/4}) at --jobs 1 and 4 must be byte-identical to the
+// unsharded JSONL stream, a shard killed mid-run must resume from its
+// manifest watermark with no duplicated or skipped trials, and every
+// invalid-campaign shape (drifted sweep, missing shard, partial shard)
+// must be refused loudly.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/campaign.h"
+#include "runtime/experiment.h"
+#include "runtime/params.h"
+#include "runtime/runner.h"
+#include "runtime/sink.h"
+
+namespace meecc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::path(::testing::TempDir()) /
+              ("meecc_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// Cheap deterministic experiment: per-trial metrics derived from the seed
+/// through an RNG, so any duplicated, skipped, or re-seeded trial shows up
+/// as a wrong byte in the JSONL.
+runtime::Experiment toy_experiment() {
+  runtime::Experiment exp;
+  exp.name = "toy_campaign";
+  exp.run = [](const runtime::TrialSpec& spec) {
+    Rng rng(spec.seed * 1009 + spec.trial_index);
+    runtime::TrialResult result;
+    result.metric("value", static_cast<double>(rng.next_u64() % 1000000));
+    result.metric("trial", static_cast<double>(spec.trial_index));
+    return result;
+  };
+  return exp;
+}
+
+std::vector<runtime::TrialSpec> toy_trials(std::size_t count) {
+  std::vector<runtime::TrialSpec> trials;
+  for (std::size_t i = 0; i < count; ++i)
+    trials.push_back(runtime::TrialSpec{
+        .experiment = "toy_campaign",
+        .trial_index = i,
+        .seed = 42 + i,
+        .params = {{"mode", i % 2 ? "odd" : "even"}}});
+  return trials;
+}
+
+std::string unsharded_jsonl(const runtime::Experiment& exp,
+                            const std::vector<runtime::TrialSpec>& trials,
+                            unsigned jobs) {
+  runtime::RunnerConfig config;
+  config.jobs = jobs;
+  const auto records = runtime::run_trials(exp, trials, config);
+  std::ostringstream out;
+  runtime::write_jsonl(out, records);
+  return std::move(out).str();
+}
+
+std::string merged_jsonl(const std::string& directory) {
+  std::ostringstream out;
+  runtime::merge_campaign(directory, out);
+  return std::move(out).str();
+}
+
+// ---------------------------------------------------------------------------
+// Partition arithmetic.
+
+TEST(ShardSpec, ParseAcceptsValidAndRejectsMalformed) {
+  const runtime::ShardSpec spec = runtime::parse_shard("2/4");
+  EXPECT_EQ(spec.index, 2u);
+  EXPECT_EQ(spec.count, 4u);
+  for (const char* bad : {"", "3", "/4", "3/", "0/4", "5/4", "a/b", "1/0"})
+    EXPECT_THROW(runtime::parse_shard(bad), runtime::ParamError) << bad;
+}
+
+TEST(ShardSpec, RangesTileEveryTotalExactly) {
+  for (const std::size_t total : {0u, 1u, 5u, 7u, 16u, 101u}) {
+    for (const unsigned count : {1u, 2u, 3u, 4u, 7u, 13u}) {
+      std::size_t expected_begin = 0;
+      for (unsigned i = 1; i <= count; ++i) {
+        const runtime::ShardRange range = runtime::shard_range(
+            total, runtime::ShardSpec{.index = i, .count = count});
+        EXPECT_EQ(range.begin, expected_begin)
+            << total << " trials, shard " << i << "/" << count;
+        EXPECT_GE(range.end, range.begin);
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(expected_begin, total) << count << " shards";
+    }
+  }
+}
+
+TEST(ShardManifest, JsonRoundTripsAndRejectsNonsense) {
+  const runtime::ShardManifest manifest{.experiment = "fig7_window_sweep",
+                                        .hash = 0xdeadbeefcafef00dULL,
+                                        .shard_index = 2,
+                                        .shard_count = 3,
+                                        .trial_begin = 5,
+                                        .trial_end = 9,
+                                        .committed = 2};
+  const runtime::ShardManifest copy =
+      runtime::manifest_from_json(runtime::manifest_to_json(manifest));
+  EXPECT_EQ(copy.experiment, manifest.experiment);
+  EXPECT_EQ(copy.hash, manifest.hash);
+  EXPECT_EQ(copy.format_version, manifest.format_version);
+  EXPECT_EQ(copy.shard_index, manifest.shard_index);
+  EXPECT_EQ(copy.shard_count, manifest.shard_count);
+  EXPECT_EQ(copy.trial_begin, manifest.trial_begin);
+  EXPECT_EQ(copy.trial_end, manifest.trial_end);
+  EXPECT_EQ(copy.committed, manifest.committed);
+
+  EXPECT_THROW(runtime::manifest_from_json(""), runtime::ParamError);
+  EXPECT_THROW(runtime::manifest_from_json("{\"campaign\":\"x\"}"),
+               runtime::ParamError);
+  // committed beyond the range is structurally impossible output.
+  EXPECT_THROW(
+      runtime::manifest_from_json(
+          "{\"campaign\":\"x\",\"committed\":9,\"format_version\":1,"
+          "\"hash\":\"00000000000000aa\",\"shard_count\":1,\"shard_index\":1,"
+          "\"trial_begin\":0,\"trial_end\":3}"),
+      runtime::ParamError);
+}
+
+TEST(CampaignHash, TracksEveryTrialListIngredient) {
+  const runtime::Experiment exp = toy_experiment();
+  const auto trials = toy_trials(6);
+  const std::uint64_t base = runtime::campaign_hash(exp, trials);
+  EXPECT_EQ(runtime::campaign_hash(exp, trials), base);  // stable
+
+  auto fewer = trials;
+  fewer.pop_back();
+  EXPECT_NE(runtime::campaign_hash(exp, fewer), base);
+
+  auto reseeded = trials;
+  reseeded[3].seed ^= 1;
+  EXPECT_NE(runtime::campaign_hash(exp, reseeded), base);
+
+  auto reparam = trials;
+  reparam[0].params[0].second = "weird";
+  EXPECT_NE(runtime::campaign_hash(exp, reparam), base);
+
+  runtime::Experiment renamed = toy_experiment();
+  renamed.name = "toy_campaign_v2";
+  EXPECT_NE(runtime::campaign_hash(renamed, trials), base);
+}
+
+// ---------------------------------------------------------------------------
+// The determinism matrix.
+
+TEST(CampaignMatrix, EverySplitAndJobCountMergesByteIdentical) {
+  const runtime::Experiment exp = toy_experiment();
+  const auto trials = toy_trials(10);
+  const std::string reference = unsharded_jsonl(exp, trials, 1);
+  ASSERT_FALSE(reference.empty());
+  // The runner itself is jobs-invariant; the matrix below then checks the
+  // campaign machinery cannot break what the runner guarantees.
+  ASSERT_EQ(unsharded_jsonl(exp, trials, 4), reference);
+
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      ScratchDir dir("matrix_" + std::to_string(shards) + "_" +
+                     std::to_string(jobs));
+      for (unsigned i = 1; i <= shards; ++i) {
+        runtime::CampaignShardOptions options;
+        options.shard = runtime::ShardSpec{.index = i, .count = shards};
+        options.directory = dir.str();
+        options.runner.jobs = jobs;
+        const auto result = runtime::run_campaign_shard(exp, trials, options);
+        EXPECT_TRUE(result.manifest.complete());
+      }
+      EXPECT_EQ(merged_jsonl(dir.str()), reference)
+          << shards << " shards at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(CampaignResume, KilledShardResumesFromWatermarkWithoutDupOrSkip) {
+  const runtime::Experiment exp = toy_experiment();
+  const auto trials = toy_trials(9);
+  const std::string reference = unsharded_jsonl(exp, trials, 1);
+  ScratchDir dir("resume");
+
+  // Shard 1/2 owns trials [0, 4). Kill it after 2 commits.
+  runtime::CampaignShardOptions options;
+  options.shard = runtime::ShardSpec{.index = 1, .count = 2};
+  options.directory = dir.str();
+  options.stop_after = 2;
+  options.runner.jobs = 4;
+  const auto killed = runtime::run_campaign_shard(exp, trials, options);
+  EXPECT_FALSE(killed.manifest.complete());
+  EXPECT_EQ(killed.manifest.committed, 2u);
+  EXPECT_EQ(killed.records.size(), 2u);
+
+  // Merging a campaign with a partial shard must refuse, not emit a short
+  // stream.
+  std::ostringstream sink;
+  EXPECT_THROW(runtime::merge_campaign(dir.str(), sink),
+               runtime::ParamError);
+
+  // Resume finishes exactly the remaining trials — watermark forward, no
+  // repeats (the records of the resumed invocation start at trial 2).
+  options.stop_after = 0;
+  options.resume = true;
+  const auto resumed = runtime::run_campaign_shard(exp, trials, options);
+  EXPECT_TRUE(resumed.manifest.complete());
+  EXPECT_EQ(resumed.resumed_from, 2u);
+  ASSERT_EQ(resumed.records.size(), 2u);
+  EXPECT_EQ(resumed.records[0].spec.trial_index, 2u);
+  EXPECT_EQ(resumed.records[1].spec.trial_index, 3u);
+
+  // Resuming a complete shard is a no-op, not a rerun.
+  const auto again = runtime::run_campaign_shard(exp, trials, options);
+  EXPECT_TRUE(again.records.empty());
+  EXPECT_TRUE(again.manifest.complete());
+
+  options.shard = runtime::ShardSpec{.index = 2, .count = 2};
+  options.resume = false;
+  runtime::run_campaign_shard(exp, trials, options);
+  EXPECT_EQ(merged_jsonl(dir.str()), reference);
+}
+
+// A kill between the JSONL append and the manifest rewrite leaves an extra
+// uncommitted line; resume must truncate it and rerun that trial, keeping
+// the merged bytes identical.
+TEST(CampaignResume, TruncatesUncommittedTailLines) {
+  const runtime::Experiment exp = toy_experiment();
+  const auto trials = toy_trials(6);
+  const std::string reference = unsharded_jsonl(exp, trials, 1);
+  ScratchDir dir("torn");
+
+  runtime::CampaignShardOptions options;
+  options.shard = runtime::ShardSpec{.index = 1, .count = 1};
+  options.directory = dir.str();
+  options.stop_after = 3;
+  const auto killed = runtime::run_campaign_shard(exp, trials, options);
+  EXPECT_EQ(killed.manifest.committed, 3u);
+
+  // Simulate the torn state: a line landed in the JSONL after the last
+  // manifest write.
+  const std::string data_path =
+      runtime::shard_jsonl_path(dir.str(), options.shard);
+  {
+    std::ofstream out(data_path, std::ios::binary | std::ios::app);
+    out << "{\"garbage\":\"line the crash left behind\"}\n";
+  }
+
+  options.stop_after = 0;
+  options.resume = true;
+  const auto resumed = runtime::run_campaign_shard(exp, trials, options);
+  EXPECT_TRUE(resumed.manifest.complete());
+  EXPECT_EQ(resumed.resumed_from, 3u);
+  EXPECT_EQ(merged_jsonl(dir.str()), reference);
+}
+
+TEST(CampaignResume, RefusesManifestFromAnotherCampaign) {
+  const runtime::Experiment exp = toy_experiment();
+  const auto trials = toy_trials(8);
+  ScratchDir dir("drift");
+
+  runtime::CampaignShardOptions options;
+  options.shard = runtime::ShardSpec{.index = 1, .count = 2};
+  options.directory = dir.str();
+  options.stop_after = 1;
+  runtime::run_campaign_shard(exp, trials, options);
+
+  // Same directory, drifted trial list (one more seed): the watermark
+  // belongs to different trials, so resume must refuse.
+  options.resume = true;
+  options.stop_after = 0;
+  EXPECT_THROW(runtime::run_campaign_shard(exp, toy_trials(9), options),
+               runtime::ParamError);
+  // Without --resume the shard restarts from scratch instead.
+  options.resume = false;
+  const auto restarted =
+      runtime::run_campaign_shard(exp, toy_trials(9), options);
+  EXPECT_TRUE(restarted.manifest.complete());
+  EXPECT_EQ(restarted.resumed_from, 0u);
+}
+
+TEST(CampaignMerge, RefusesMissingShardAndForeignManifest) {
+  const runtime::Experiment exp = toy_experiment();
+  const auto trials = toy_trials(8);
+  ScratchDir dir("holes");
+
+  runtime::CampaignShardOptions options;
+  options.directory = dir.str();
+  options.shard = runtime::ShardSpec{.index = 1, .count = 3};
+  runtime::run_campaign_shard(exp, trials, options);
+  options.shard = runtime::ShardSpec{.index = 3, .count = 3};
+  runtime::run_campaign_shard(exp, trials, options);
+
+  std::ostringstream sink;
+  EXPECT_THROW(runtime::merge_campaign(dir.str(), sink),
+               runtime::ParamError);  // shard 2/3 missing
+
+  // Complete the campaign but from a drifted trial list: hash mismatch.
+  options.shard = runtime::ShardSpec{.index = 2, .count = 3};
+  runtime::run_campaign_shard(exp, toy_trials(8), options);
+  std::ostringstream ok_sink;
+  EXPECT_NO_THROW(runtime::merge_campaign(dir.str(), ok_sink));
+
+  runtime::run_campaign_shard(toy_experiment(), toy_trials(7), options);
+  EXPECT_THROW(runtime::merge_campaign(dir.str(), sink),
+               runtime::ParamError);  // 2/3 now belongs elsewhere
+
+  EXPECT_THROW(runtime::merge_campaign(dir.str() + "/nonexistent", sink),
+               runtime::ParamError);
+}
+
+}  // namespace
+}  // namespace meecc

@@ -1,0 +1,43 @@
+// Writes the corrupted setup-store fixture set to a directory:
+//
+//   make_setup_store_fixtures OUTDIR
+//
+// One <name>.setup file per failure mode (see setup_store_fixtures.h),
+// built from a fixed demo key/payload so the files are reproducible. Handy
+// for poking at SetupStore behaviour outside the test binary; the
+// fault-injection suite generates the same bytes in-process.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "runtime/setup_store.h"
+#include "setup_store_fixtures.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_setup_store_fixtures OUTDIR\n");
+    return 2;
+  }
+  const std::filesystem::path dir(argv[1]);
+  std::filesystem::create_directories(dir);
+
+  const std::uint64_t config_hash =
+      meecc::runtime::setup_store_config_hash("fixture-demo");
+  const auto fixtures = meecc::testing::setup_store_fixtures(
+      config_hash, "fixture-demo|seed=42", "demo-payload-bytes");
+  for (const auto& fixture : fixtures) {
+    const std::filesystem::path path = dir / (fixture.name + ".setup");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(fixture.bytes.data(),
+              static_cast<std::streamsize>(fixture.bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+      return 1;
+    }
+    std::printf("%s (%zu bytes, expect %s)\n", path.string().c_str(),
+                fixture.bytes.size(),
+                std::string(meecc::runtime::to_string(fixture.expected))
+                    .c_str());
+  }
+  return 0;
+}

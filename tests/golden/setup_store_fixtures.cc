@@ -1,0 +1,52 @@
+#include "setup_store_fixtures.h"
+
+#include "common/bytes.h"
+
+namespace meecc::testing {
+
+std::vector<StoreFixture> setup_store_fixtures(std::uint64_t config_hash,
+                                               const std::string& setup_key,
+                                               std::string_view payload) {
+  using runtime::SetupStore;
+
+  // Mirror of SetupStore::store(): the embedded key guards the 64-bit
+  // content address against collisions, then the experiment payload.
+  const auto entry_for = [&](const std::string& key, std::uint64_t hash) {
+    io::Writer w;
+    w.str(key);
+    w.bytes(payload.data(), payload.size());
+    return io::write_frame(SetupStore::kMagic, SetupStore::kFormatVersion,
+                           hash, w.data());
+  };
+  const std::string valid = entry_for(setup_key, config_hash);
+
+  std::vector<StoreFixture> fixtures;
+  fixtures.push_back({"valid", valid, SetupStore::Lookup::kHit});
+  fixtures.push_back({"truncated", valid.substr(0, valid.size() / 2),
+                      SetupStore::Lookup::kTruncated});
+  fixtures.push_back({"empty", "", SetupStore::Lookup::kTruncated});
+
+  std::string bad_magic = valid;
+  bad_magic[0] ^= 0x01;
+  fixtures.push_back(
+      {"bad-magic", std::move(bad_magic), SetupStore::Lookup::kBadMagic});
+
+  std::string bad_version = valid;
+  bad_version[8] ^= 0x01;  // version field follows the 8-byte magic
+  fixtures.push_back(
+      {"bad-version", std::move(bad_version), SetupStore::Lookup::kBadVersion});
+
+  std::string bad_checksum = valid;
+  bad_checksum[valid.size() - 9] ^= 0x01;  // last payload byte
+  fixtures.push_back({"bad-checksum", std::move(bad_checksum),
+                      SetupStore::Lookup::kBadChecksum});
+
+  fixtures.push_back({"config-mismatch", entry_for(setup_key, config_hash + 1),
+                      SetupStore::Lookup::kConfigMismatch});
+  fixtures.push_back({"key-collision",
+                      entry_for(setup_key + "-someone-else", config_hash),
+                      SetupStore::Lookup::kKeyCollision});
+  return fixtures;
+}
+
+}  // namespace meecc::testing

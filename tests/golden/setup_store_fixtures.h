@@ -1,0 +1,41 @@
+// Corrupted setup-store fixtures: one entry file per failure mode of
+// runtime::SetupStore::load(), generated from a single valid entry so every
+// fixture differs from "good" in exactly the way its name says.
+//
+// Shared between the fault-injection suite (store_fault_test.cc), which
+// plants each fixture at the store's content address and asserts the
+// distinct Lookup status + fresh-build fallback, and the standalone
+// generator CLI (make_setup_store_fixtures.cc) that writes them to disk
+// for manual poking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/setup_store.h"
+
+namespace meecc::testing {
+
+struct StoreFixture {
+  std::string name;    ///< e.g. "bad-checksum"
+  std::string bytes;   ///< entry-file content to plant
+  runtime::SetupStore::Lookup expected;  ///< what load() must report
+};
+
+/// The well-formed entry `SetupStore::store(setup_key, payload)` would
+/// write under `config_hash`, plus one corrupted variant per failure mode:
+///   valid            -> kHit
+///   truncated        -> kTruncated (cut mid-payload)
+///   empty            -> kTruncated (zero-length file)
+///   bad-magic        -> kBadMagic (first magic byte flipped)
+///   bad-version      -> kBadVersion (format version byte flipped)
+///   bad-checksum     -> kBadChecksum (one payload byte flipped)
+///   config-mismatch  -> kConfigMismatch (framed under config_hash + 1)
+///   key-collision    -> kKeyCollision (valid frame, different embedded key)
+std::vector<StoreFixture> setup_store_fixtures(std::uint64_t config_hash,
+                                               const std::string& setup_key,
+                                               std::string_view payload);
+
+}  // namespace meecc::testing

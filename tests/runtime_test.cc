@@ -4,12 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <memory>
 
 #include "channel/testbed.h"
+#include "common/bytes.h"
+#include "common/rng.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
 #include "runtime/registry.h"
 #include "runtime/runner.h"
+#include "runtime/setup_cache.h"
+#include "runtime/setup_store.h"
 #include "runtime/sink.h"
 #include "runtime/sweep.h"
 
@@ -288,6 +294,88 @@ TEST(Runner, Fig7DeterminismAcrossJobCounts) {
     EXPECT_EQ(to_json_line(serial[i]), to_json_line(parallel[i]))
         << "trial " << i;
   }
+}
+
+// SetupStats must say how each warm state was resolved — built, found in
+// this process's memory tier, or loaded from the on-disk store — because
+// the campaign CI leg asserts on exactly these counters.
+TEST(Runner, SetupStatsDistinguishMemoryDiskAndBuild) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "meecc_runtime_stats";
+  std::filesystem::remove_all(dir);
+
+  std::atomic<int> built{0};
+  Experiment e;
+  e.name = "runtime_test_stats";
+  e.setup_key = [](const TrialSpec& spec) {
+    return "stats|seed=" + std::to_string(spec.seed);
+  };
+  e.run = [&built](const TrialSpec& spec) {
+    const auto warm = memoized_setup<std::uint64_t>(
+        "stats|seed=" + std::to_string(spec.seed),
+        [&]() -> std::shared_ptr<const std::uint64_t> {
+          ++built;
+          Rng rng(spec.seed);
+          return std::make_shared<const std::uint64_t>(rng.next_u64());
+        },
+        [](const std::uint64_t& value) {
+          io::Writer w;
+          w.u64(value);
+          return w.take();
+        },
+        [](std::string_view payload) -> std::shared_ptr<const std::uint64_t> {
+          io::Reader r(payload);
+          auto value = std::make_shared<std::uint64_t>(r.u64());
+          r.expect_done();
+          return value;
+        });
+    TrialResult out;
+    out.metric("warm_mod", static_cast<double>(*warm % 100003));
+    return out;
+  };
+  std::vector<TrialSpec> trials(6);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    trials[i].trial_index = i;
+    trials[i].seed = 7 + i % 2;  // two distinct warm states
+  }
+
+  // No store attached: two builds, the other four trials hit memory.
+  RunnerConfig memory_only;
+  memory_only.jobs = 2;
+  SetupStats stats;
+  const auto in_memory = run_trials(e, trials, memory_only, &stats);
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.memory_hits, 4u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(built.load(), 2);
+
+  // Cold store: still two builds, but they are written back...
+  SetupStore store(dir.string(), setup_store_config_hash(e.name));
+  RunnerConfig with_store;
+  with_store.jobs = 2;
+  with_store.setup_store = &store;
+  built = 0;
+  const auto cold = run_trials(e, trials, with_store, &stats);
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.memory_hits, 4u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+
+  // ...so the next sweep (a fresh process in campaign terms) builds
+  // nothing and resolves each key from disk exactly once.
+  built = 0;
+  const auto warm = run_trials(e, trials, with_store, &stats);
+  EXPECT_EQ(stats.builds, 0u);
+  EXPECT_EQ(stats.disk_hits, 2u);
+  EXPECT_EQ(stats.memory_hits, 4u);
+  EXPECT_EQ(built.load(), 0);
+
+  // Resolution mode is an optimization, never an observable: all three
+  // sweeps report identical trial records.
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(to_json_line(in_memory[i]), to_json_line(cold[i])) << i;
+    EXPECT_EQ(to_json_line(in_memory[i]), to_json_line(warm[i])) << i;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

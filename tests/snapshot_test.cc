@@ -322,8 +322,9 @@ TEST(SetupCache, BuildsOncePerKeyAndPropagatesFailure) {
   const auto b = cache.get_or_build("k1", value_builder);
   EXPECT_EQ(a.get(), b.get());
   EXPECT_EQ(builds, 1);
-  EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.memory_hits(), 1u);
+  EXPECT_EQ(cache.disk_hits(), 0u);
 
   // A throwing builder fails every sharing caller and is never retried.
   int failing_calls = 0;
@@ -390,8 +391,9 @@ TEST(Runner, SetupReuseSharesStateAndKeepsRecordsIdentical) {
   const std::vector<runtime::TrialRecord> reused =
       runtime::run_trials(exp, trials, reuse_config, &reuse_stats);
   EXPECT_EQ(builds.load(), 2);  // one build per distinct seed
-  EXPECT_EQ(reuse_stats.misses, 2u);
-  EXPECT_EQ(reuse_stats.hits, 4u);
+  EXPECT_EQ(reuse_stats.builds, 2u);
+  EXPECT_EQ(reuse_stats.memory_hits, 4u);
+  EXPECT_EQ(reuse_stats.disk_hits, 0u);
 
   builds = 0;
   runtime::SetupStats fresh_stats;
@@ -401,8 +403,9 @@ TEST(Runner, SetupReuseSharesStateAndKeepsRecordsIdentical) {
   const std::vector<runtime::TrialRecord> fresh =
       runtime::run_trials(exp, trials, fresh_config, &fresh_stats);
   EXPECT_EQ(builds.load(), 6);  // every trial built its own
-  EXPECT_EQ(fresh_stats.misses, 0u);
-  EXPECT_EQ(fresh_stats.hits, 0u);
+  EXPECT_EQ(fresh_stats.builds, 0u);
+  EXPECT_EQ(fresh_stats.memory_hits, 0u);
+  EXPECT_EQ(fresh_stats.disk_hits, 0u);
 
   ASSERT_EQ(reused.size(), fresh.size());
   for (std::size_t i = 0; i < reused.size(); ++i) {
