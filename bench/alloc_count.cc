@@ -1,0 +1,101 @@
+// Replaceable global allocation functions ([new.delete]) that count every
+// heap allocation the meecc_bench process makes. The counter backs the
+// campaign macro-benchmark's allocations/trial metric; it must see every
+// path (arrays, nothrow, over-aligned), so all replaceable forms funnel
+// through the two counted helpers below. Deallocation is pass-through —
+// frees never allocate and are not part of the metric.
+#include "alloc_count.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded != 0 ? rounded : alignment);
+}
+
+}  // namespace
+
+namespace meecc::bench {
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace meecc::bench
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,17 @@
+// Process-wide heap-allocation counter for the campaign macro-benchmark.
+// bench/alloc_count.cc replaces the global allocation functions in the
+// meecc_bench binary (libraries are unaffected — replacement happens at
+// link time, per [replacement.functions]) so the suite can report
+// allocations/trial and CI can assert the recycled trial path allocates a
+// small fraction of what fresh forks do.
+#pragma once
+
+#include <cstdint>
+
+namespace meecc::bench {
+
+/// Number of operator-new calls (all forms) since process start. Take a
+/// delta around a timed region; frees are not counted.
+std::uint64_t allocation_count();
+
+}  // namespace meecc::bench

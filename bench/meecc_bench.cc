@@ -69,6 +69,8 @@ int usage(std::FILE* out) {
       "      --trace-sample N      keep every Nth trace event (default 1)\n"
       "      --no-reuse-setup      rebuild warm setup state for every trial\n"
       "                            instead of snapshot/fork sharing\n"
+      "      --no-recycle-systems  construct a fresh System per trial instead\n"
+      "                            of rewinding a per-worker recycled one\n"
       "      --setup-store DIR     on-disk warm-setup cache shared across\n"
       "                            processes and shards\n"
       "      --shard i/N           run only shard i of N (contiguous trial\n"
@@ -95,7 +97,9 @@ int usage(std::FILE* out) {
       "                            reuse reproduces fresh results exactly\n"
       "      --compare PATH        diff kernels against a baseline report;\n"
       "                            fail if any is >15%% slower\n"
-      "      --no-sweep            skip the fresh-vs-snapshot sweep section\n");
+      "      --no-sweep            skip the fresh-vs-snapshot sweep section\n"
+      "      --no-campaign         skip the campaign macro-benchmark\n"
+      "                            (recycled-vs-fresh trial throughput)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -114,6 +118,8 @@ int cmd_perf(const std::vector<std::string>& args) {
       options.compare_path = args[++i];
     } else if (args[i] == "--no-sweep") {
       options.run_sweep = false;
+    } else if (args[i] == "--no-campaign") {
+      options.run_campaign = false;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", args[i].c_str());
       return usage(stderr);
@@ -246,7 +252,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   std::string shard_text, campaign_dir, setup_store_dir;
   std::uint64_t trace_sample = 1, stop_after = 0;
   bool quiet = false, force_artifacts = false, show_counters = false;
-  bool reuse_setup = true, resume = false;
+  bool reuse_setup = true, recycle_systems = true, resume = false;
   const std::vector<std::string> rest =
       runtime::parse_sweep_args(args, &sweep);
   for (std::size_t i = 0; i < rest.size(); ++i) {
@@ -273,6 +279,10 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       reuse_setup = false;
     } else if (arg == "--reuse-setup") {
       reuse_setup = true;
+    } else if (arg == "--no-recycle-systems") {
+      recycle_systems = false;
+    } else if (arg == "--recycle-systems") {
+      recycle_systems = true;
     } else if (arg == "--setup-store") {
       setup_store_dir = value();
     } else if (arg == "--shard") {
@@ -348,6 +358,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   runtime::RunnerConfig runner;
   runner.jobs = jobs;
   runner.reuse_setup = reuse_setup;
+  runner.recycle_systems = recycle_systems;
   std::optional<runtime::SetupStore> setup_store;
   if (!setup_store_dir.empty()) {
     setup_store.emplace(setup_store_dir,

@@ -1,9 +1,12 @@
 #include "perf_suite.h"
 
+#include "alloc_count.h"
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -44,19 +47,28 @@ inline void keep(const T& value) {
 /// Times `run(iters)` (which must perform `iters` operations), growing
 /// `iters` until the wall time passes `min_seconds`, then re-times that
 /// final size several times and returns the best repetition's ns per
-/// operation. The minimum is the standard contention filter: scheduler
-/// preemption and frequency dips only ever add time, so the fastest
-/// repetition is the closest view of the kernel itself — without it, a
-/// busy host trips the --compare gate on code that didn't change.
+/// operation. Repetitions are timed with process CPU time, not wall time:
+/// on a small shared host (single-vCPU CI runners especially) steal and
+/// preemption inflate wall clocks by tens of percent in bursts longer
+/// than any repetition, which trips the --compare gate on code that
+/// didn't change; CPU time only counts cycles this process ran. The
+/// minimum over repetitions then filters what CPU time cannot (migration
+/// cost, cold caches, frequency dips — these only ever add time).
 double ns_per_op(const std::function<void(std::uint64_t)>& run,
                  double min_seconds = 0.05, std::uint64_t start_iters = 64) {
-  constexpr int kRepetitions = 5;
+  constexpr int kRepetitions = 7;
+  const auto cpu_seconds = [](const std::function<void()>& f) {
+    timespec c0{}, c1{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &c0);
+    f();
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &c1);
+    return static_cast<double>(c1.tv_sec - c0.tv_sec) +
+           1e-9 * static_cast<double>(c1.tv_nsec - c0.tv_nsec);
+  };
   std::uint64_t iters = start_iters;
   double sec = 0;
   for (;;) {
-    const auto start = Clock::now();
-    run(iters);
-    sec = std::chrono::duration<double>(Clock::now() - start).count();
+    sec = cpu_seconds([&] { run(iters); });
     if (sec >= min_seconds) break;
     iters = sec <= 1e-9
                 ? iters * 32
@@ -65,12 +77,8 @@ double ns_per_op(const std::function<void(std::uint64_t)>& run,
                       1;
   }
   double best = sec;
-  for (int rep = 1; rep < kRepetitions; ++rep) {
-    const auto start = Clock::now();
-    run(iters);
-    best = std::min(
-        best, std::chrono::duration<double>(Clock::now() - start).count());
-  }
+  for (int rep = 1; rep < kRepetitions; ++rep)
+    best = std::min(best, cpu_seconds([&] { run(iters); }));
   return best * 1e9 / static_cast<double>(iters);
 }
 
@@ -166,6 +174,164 @@ SweepBenchResult run_sweep_bench() {
   return result;
 }
 
+/// The campaign macro-benchmark: the trial-throughput engine, measured at
+/// the margin. One campaign = a mitigations payload grid over shared
+/// Algorithm-1 setups; the engine's cost is what one MORE trial on a warm
+/// campaign costs (the fork/run/emit cycle), so the benchmark runs a base
+/// grid and an extended grid over identical setups and differences them —
+/// Algorithm-1 builds and first-use pool forks cancel exactly. Both modes
+/// reuse setups; the A/B is config.recycle_systems: fresh System forks per
+/// trial versus restoring snapshots in place into pooled TestBeds. Wall
+/// time is min-based best-of-5 (contention only ever adds time);
+/// allocation counts come from the binary's interposed operator new
+/// (bench/alloc_count.cc) and are deterministic.
+struct CampaignBenchResult {
+  std::size_t trials = 0;          ///< extended-grid size (the marginal
+                                   ///< window is trials - base_trials)
+  std::size_t base_trials = 0;
+  std::size_t shared_setups = 0;   ///< distinct warm states (Algorithm 1 runs)
+  double recycled_ns_per_trial = 0.0;  ///< marginal, best-of-5
+  double fresh_ns_per_trial = 0.0;
+  double recycled_trials_per_sec = 0.0;
+  double fresh_trials_per_sec = 0.0;
+  double speedup = 0.0;            ///< fresh / recycled marginal cost
+  double recycled_allocs_per_trial = 0.0;  ///< marginal, deterministic
+  double fresh_allocs_per_trial = 0.0;
+  double peak_rss_mb = 0.0;        ///< process VmHWM after both modes ran
+  /// Byte equality of the two modes' extended-grid JSONL record streams —
+  /// recycling must not change any result.
+  bool identical_results = false;
+};
+
+/// VmHWM from /proc/self/status, in MiB (0 when unreadable — non-Linux).
+double peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+  }
+  return 0.0;
+}
+
+CampaignBenchResult run_campaign_bench() {
+  const runtime::Experiment& experiment =
+      runtime::get_experiment("mitigations");
+  // Payload bits are measure-phase locals, so every grid point shares the
+  // one warm setup — the shape that exposes per-trial cost. The base grid
+  // is a prefix of the extended grid: identical setup work, identical
+  // first-use forks, so the difference is pure steady-state trials.
+  //
+  // The measure payload is deliberately light (4-7 payload bits, 8 KiB /
+  // 100-sample legit workload instead of the 192-bit / 256 KiB / 3000
+  // defaults): at the default sizes a trial spends ~1.6 ms inside
+  // measure_legit_workload plus ~1 ms transferring bits — channel-
+  // simulation physics that is byte-identical in every mode and would
+  // drown the engine being benchmarked. The heavy-payload path is covered
+  // by the sweep section above; this section isolates trial turnaround.
+  const auto grid = [&](std::size_t points) {
+    runtime::SweepSpec spec;
+    spec.sets = {{"mee.cache.indexing", "modulo"},
+                 {"setup_attempts", "1"},
+                 {"legit_bytes", "8192"},
+                 {"legit_samples", "100"}};
+    std::vector<std::string> bits;
+    for (std::size_t i = 0; i < points; ++i)
+      bits.push_back(std::to_string(4 + i));
+    spec.axes = {{"bits", bits}};
+    spec.seeds = 1;
+    return runtime::expand_sweep(experiment, spec);
+  };
+  // A 256-trial marginal window, built by tiling the 4-point base grid (a
+  // throughput benchmark needs identical-cost trials, not distinct specs):
+  // a recycled trial is down to ~0.1-0.3 ms, so the window must be wide
+  // enough that run-to-run noise in the (cancelling) ~70 ms Algorithm-1
+  // setup cost cannot swamp the signal. The base grid is a strict prefix
+  // of the tiled grid — same setups, same first-use forks.
+  const auto base_trials = grid(4);
+  auto full_trials = base_trials;
+  for (int copy = 1; copy < 65; ++copy)
+    full_trials.insert(full_trials.end(), base_trials.begin(),
+                       base_trials.end());
+
+  // jobs=1 for an undiluted wall-clock contrast (results are
+  // jobs-independent either way; the recycled pool is per-worker).
+  runtime::RunnerConfig config;
+  config.jobs = 1;
+  config.reuse_setup = true;
+
+  constexpr int kRepetitions = 5;
+  struct ModeCost {
+    double ns_per_trial = 0.0;
+    double allocs_per_trial = 0.0;
+  };
+  const std::size_t window = full_trials.size() - base_trials.size();
+  const auto timed = [&](bool recycle, std::vector<runtime::TrialRecord>* out,
+                         runtime::SetupStats* stats) {
+    config.recycle_systems = recycle;
+    const auto one = [&](const std::vector<runtime::TrialSpec>& trials,
+                         double* seconds, double* allocs) {
+      double best = 0.0;
+      std::uint64_t alloc_delta = 0;
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        *stats = {};
+        const std::uint64_t allocs_before = allocation_count();
+        // Process CPU time, not wall time: the campaign runs jobs=1 in an
+        // otherwise idle process, so CPU time IS the work done, and unlike
+        // wall time it is immune to preemption on small shared CI hosts —
+        // a single-vCPU runner with background load inflates wall-clock
+        // marginals by 2-3x while CPU time stays put.
+        timespec c0, c1;
+        clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &c0);
+        *out = runtime::run_trials(experiment, trials, config, stats);
+        clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &c1);
+        const double sec = static_cast<double>(c1.tv_sec - c0.tv_sec) +
+                           1e-9 * static_cast<double>(c1.tv_nsec - c0.tv_nsec);
+        if (rep == 0 || sec < best) best = sec;
+        // Deterministic workload: any repetition's count is THE count.
+        alloc_delta = allocation_count() - allocs_before;
+      }
+      *seconds = best;
+      *allocs = static_cast<double>(alloc_delta);
+    };
+    double base_seconds = 0.0, base_allocs = 0.0;
+    double full_seconds = 0.0, full_allocs = 0.0;
+    one(base_trials, &base_seconds, &base_allocs);
+    one(full_trials, &full_seconds, &full_allocs);
+    ModeCost cost;
+    cost.ns_per_trial = (full_seconds - base_seconds) * 1e9 /
+                        static_cast<double>(window);
+    cost.allocs_per_trial =
+        (full_allocs - base_allocs) / static_cast<double>(window);
+    return cost;
+  };
+
+  CampaignBenchResult result;
+  result.trials = full_trials.size();
+  result.base_trials = base_trials.size();
+  std::vector<runtime::TrialRecord> recycled_records, fresh_records;
+  runtime::SetupStats recycled_stats, fresh_stats;
+  const ModeCost recycled = timed(true, &recycled_records, &recycled_stats);
+  const ModeCost fresh = timed(false, &fresh_records, &fresh_stats);
+  result.shared_setups = recycled_stats.builds;
+  result.recycled_ns_per_trial = recycled.ns_per_trial;
+  result.fresh_ns_per_trial = fresh.ns_per_trial;
+  result.recycled_allocs_per_trial = recycled.allocs_per_trial;
+  result.fresh_allocs_per_trial = fresh.allocs_per_trial;
+  const auto per_sec = [](double ns) { return ns > 0.0 ? 1e9 / ns : 0.0; };
+  result.recycled_trials_per_sec = per_sec(recycled.ns_per_trial);
+  result.fresh_trials_per_sec = per_sec(fresh.ns_per_trial);
+  result.speedup = recycled.ns_per_trial > 0.0
+                       ? fresh.ns_per_trial / recycled.ns_per_trial
+                       : 0.0;
+  result.peak_rss_mb = peak_rss_mb();
+  std::ostringstream recycled_jsonl, fresh_jsonl;
+  runtime::write_jsonl(recycled_jsonl, recycled_records);
+  runtime::write_jsonl(fresh_jsonl, fresh_records);
+  result.identical_results = recycled_jsonl.str() == fresh_jsonl.str();
+  return result;
+}
+
 /// Pulls the name -> ns pairs out of a baseline report's
 /// "kernels_ns_per_op" object. Minimal scan, matched to write_json's
 /// output shape.
@@ -217,6 +383,7 @@ bool compare_with_baseline(
   constexpr double kTolerance = 0.15;
   bool ok = true;
   std::size_t unbaselined = 0;
+  std::size_t compared = 0, regressed = 0;
   std::fprintf(stderr, "compare vs %s (tolerance +%.0f%%):\n", path.c_str(),
                kTolerance * 100.0);
   for (const auto& [name, ns] : kernels) {
@@ -237,8 +404,23 @@ bool compare_with_baseline(
     const bool slow = delta > kTolerance * 100.0;
     std::fprintf(stderr, "  %-28s %12.1f ns/op  %+7.1f%%%s\n", name.c_str(),
                  ns, delta, slow ? "  REGRESSION" : "");
-    if (slow) ok = false;
+    ++compared;
+    if (slow) {
+      ok = false;
+      ++regressed;
+    }
   }
+  // One kernel regressing points at a code change; half the suite
+  // regressing at once points at the host (burstable VMs throttle for
+  // minutes after sustained load, and CPU-time clocks can't hide the
+  // frequency dip). Still a FAIL — a global slowdown could be real — but
+  // say so, so CI triage starts with a rerun instead of a bisect.
+  if (regressed * 2 >= compared && regressed > 1)
+    std::fprintf(stderr,
+                 "note: %zu of %zu kernels regressed together — likely a "
+                 "throttled/contended host rather than a code regression; "
+                 "rerun on a quiet machine before bisecting\n",
+                 regressed, compared);
   if (unbaselined > 0)
     std::fprintf(stderr,
                  "warning: %zu kernel%s missing from '%s' — regenerate the "
@@ -261,7 +443,8 @@ void write_json(std::ostream& os,
                 const std::vector<std::pair<std::string, double>>& kernels,
                 const std::vector<std::pair<std::string, double>>& speedups,
                 const QuickstartResult& quickstart,
-                const SweepBenchResult* sweep, bool checked,
+                const SweepBenchResult* sweep,
+                const CampaignBenchResult* campaign, bool checked,
                 bool check_passed) {
   os << "{\n  \"schema\": \"meecc.bench.hotpath.v1\",\n  \"kernels_ns_per_op\": {";
   bool first = true;
@@ -290,6 +473,28 @@ void write_json(std::ostream& os,
        << "    \"speedup\": " << sweep->speedup << ",\n"
        << "    \"identical_results\": "
        << (sweep->identical_results ? "true" : "false") << "\n  }";
+  if (campaign != nullptr)
+    os << ",\n  \"campaign\": {\n"
+       << "    \"experiment\": \"mitigations\",\n"
+       << "    \"trials\": " << campaign->trials << ",\n"
+       << "    \"base_trials\": " << campaign->base_trials << ",\n"
+       << "    \"shared_setups\": " << campaign->shared_setups << ",\n"
+       << "    \"recycled_ns_per_trial\": " << campaign->recycled_ns_per_trial
+       << ",\n"
+       << "    \"fresh_ns_per_trial\": " << campaign->fresh_ns_per_trial
+       << ",\n"
+       << "    \"recycled_trials_per_sec\": "
+       << campaign->recycled_trials_per_sec << ",\n"
+       << "    \"fresh_trials_per_sec\": " << campaign->fresh_trials_per_sec
+       << ",\n"
+       << "    \"speedup\": " << campaign->speedup << ",\n"
+       << "    \"recycled_allocs_per_trial\": "
+       << campaign->recycled_allocs_per_trial << ",\n"
+       << "    \"fresh_allocs_per_trial\": "
+       << campaign->fresh_allocs_per_trial << ",\n"
+       << "    \"peak_rss_mb\": " << campaign->peak_rss_mb << ",\n"
+       << "    \"identical_results\": "
+       << (campaign->identical_results ? "true" : "false") << "\n  }";
   if (checked)
     os << ",\n  \"check\": {\n    \"ttable_speedup_min\": 2.0,\n"
        << "    \"passed\": " << (check_passed ? "true" : "false") << "\n  }";
@@ -300,29 +505,38 @@ void write_json(std::ostream& os,
 
 int run_perf_suite(const PerfOptions& options) {
   std::vector<std::pair<std::string, double>> kernels;
+  // Min-merge across passes (below): the same kernel re-recorded keeps its
+  // best time, so one clean window anywhere in the run settles its value.
   const auto record = [&](const std::string& name, double ns) {
-    kernels.emplace_back(name, ns);
     std::fprintf(stderr, "  %-28s %12.1f ns/op\n", name.c_str(), ns);
+    for (auto& [existing, best] : kernels)
+      if (existing == name) {
+        best = std::min(best, ns);
+        return;
+      }
+    kernels.emplace_back(name, ns);
   };
 
+  // The whole kernel list runs several times and each kernel keeps its
+  // per-pass minimum. ns_per_op's min-of-reps filters noise shorter than
+  // one repetition, but a host-noise burst (CPU steal, a frequency dip on
+  // a shared runner) outlasting a kernel's back-to-back repetitions
+  // inflates all of them at once; observed bursts are shorter than a full
+  // pass over the list, so spacing a kernel's chances a pass apart lets
+  // min-merge recover the true floor.
+  constexpr int kKernelPasses = 3;
+  const auto collect_kernels = [&] {
   // --- AES block, one entry per backend this CPU can run ------------------
-  double reference_ns = 0.0, ttable_ns = 0.0;
-  std::vector<std::pair<std::string, double>> speedups;
   for (const std::string& name : crypto::aes_backend_names()) {
     if (name == crypto::kAutoBackend || !crypto::aes_backend_available(name))
       continue;
     const auto aes = crypto::make_aes_backend(name, bench_key());
-    const double ns = ns_per_op([&](std::uint64_t iters) {
-      crypto::Block block{};
-      for (std::uint64_t i = 0; i < iters; ++i) block = aes->encrypt(block);
-      keep(block);
-    });
-    record("aes_block." + name, ns);
-    if (name == "reference") reference_ns = ns;
-    if (name == "ttable") ttable_ns = ns;
-    if (name != "reference" && reference_ns > 0.0)
-      speedups.emplace_back("aes_block." + name + "_vs_reference",
-                            reference_ns / ns);
+    record("aes_block." + name, ns_per_op([&](std::uint64_t iters) {
+             crypto::Block block{};
+             for (std::uint64_t i = 0; i < iters; ++i)
+               block = aes->encrypt(block);
+             keep(block);
+           }));
   }
 
   // --- multi-block AES: pipelined encrypt_blocks, ns per block ------------
@@ -401,18 +615,59 @@ int run_perf_suite(const PerfOptions& options) {
            }));
   }
 
+  // --- batched MAC verify: the walk's per-level checks, isolated ----------
+  // One iteration = the four per-level MAC checks of a cold walk, with the
+  // pad cache off so every check derives its pad. Serial pays one AES-block
+  // latency per level; batched derives all four pads through one
+  // encrypt_blocks() call. This pair isolates the batched-encrypt fraction
+  // that the full mee_walk kernels dilute with walk bookkeeping, so the
+  // gate catches the pipeline regressing even when mee_walk noise hides it.
+  {
+    crypto::MultilinearMac batch_mac(bench_key());
+    batch_mac.set_pad_cache_enabled(false);
+    constexpr std::size_t kLevels = 4;
+    crypto::LineData lines[kLevels];
+    crypto::MacRequest requests[kLevels];
+    for (std::size_t i = 0; i < kLevels; ++i) {
+      lines[i].fill(static_cast<std::uint8_t>(i + 1));
+      const std::uint64_t addr = 0x1000 + 0x40 * i;
+      requests[i] = {addr, i + 1, lines[i],
+                     batch_mac.tag(addr, i + 1, lines[i])};
+    }
+    record("mac_verify.serial", ns_per_op([&](std::uint64_t iters) {
+             std::uint64_t acc = 0;
+             for (std::uint64_t i = 0; i < iters; ++i)
+               for (const crypto::MacRequest& r : requests)
+                 acc += batch_mac.verify(r.address, r.version, r.data,
+                                         r.expected_tag);
+             keep(acc);
+           }));
+    record("mac_verify.batched", ns_per_op([&](std::uint64_t iters) {
+             std::uint64_t acc = 0;
+             for (std::uint64_t i = 0; i < iters; ++i)
+               acc += batch_mac.verify_batch(requests, kLevels);
+             keep(acc);
+           }));
+  }
+
   // --- MEE tree walk: cold (full walk to root) vs versions hit ------------
-  // Cold runs the serial per-node verify loop (the reference path);
-  // `mee_walk.batched` is the same workload with the batched walk, so the
-  // pair is a direct A/B of the multi-block MAC pipeline.
+  // The cold/batched pair is a direct A/B of the multi-block MAC pipeline.
+  // Two kernel conditions make the A/B honest (see DESIGN.md §6): the chunk
+  // is written once so every tree level carries a real MAC (a never-written
+  // chunk is all genesis nodes — zero MAC requests, nothing to batch), and
+  // the pad cache is off so each iteration's verify actually derives pads
+  // (the pad cache survives flush_all(), so with it on every walk after the
+  // first is all pad hits and both paths measure only walk bookkeeping).
   {
     const mem::AddressMap map(
         mem::AddressMapConfig{.general_size = 1 << 20, .epc_size = 4 << 20});
     mem::PhysicalMemory memory;
     mee::MeeConfig serial_config;
     serial_config.batched_walks = false;
+    serial_config.pad_cache = false;
     mee::MeeEngine engine(map, memory, serial_config, Rng(1));
     const PhysAddr addr = map.protected_data().base;
+    engine.write_line(CoreId{0}, addr, mem::Line{});  // materialize the MACs
     record("mee_walk.cold", ns_per_op(
                                 [&](std::uint64_t iters) {
                                   for (std::uint64_t i = 0; i < iters; ++i) {
@@ -428,7 +683,10 @@ int run_perf_suite(const PerfOptions& options) {
            }));
 
     mem::PhysicalMemory batched_memory;
-    mee::MeeEngine batched(map, batched_memory, mee::MeeConfig{}, Rng(1));
+    mee::MeeConfig batched_config;
+    batched_config.pad_cache = false;
+    mee::MeeEngine batched(map, batched_memory, batched_config, Rng(1));
+    batched.write_line(CoreId{0}, addr, mem::Line{});
     record("mee_walk.batched",
            ns_per_op(
                [&](std::uint64_t iters) {
@@ -468,6 +726,26 @@ int run_perf_suite(const PerfOptions& options) {
              scheduler.spawn(ticker(scheduler, rounds));
            scheduler.run_to_completion();
          }));
+  };  // collect_kernels
+
+  for (int pass = 0; pass < kKernelPasses; ++pass) {
+    if (pass > 0) std::fprintf(stderr, "  --- pass %d (min-merged) ---\n",
+                               pass + 1);
+    collect_kernels();
+  }
+
+  // Speedup ratios and the --check threshold read the merged minima, so
+  // both operands come from the same (cleanest-window) estimator.
+  double reference_ns = 0.0, ttable_ns = 0.0;
+  for (const auto& [name, ns] : kernels) {
+    if (name == "aes_block.reference") reference_ns = ns;
+    if (name == "aes_block.ttable") ttable_ns = ns;
+  }
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const auto& [name, ns] : kernels)
+    if (name.rfind("aes_block.", 0) == 0 && name != "aes_block.reference" &&
+        name != "aes_block.aesni_x8" && reference_ns > 0.0 && ns > 0.0)
+      speedups.emplace_back(name + "_vs_reference", reference_ns / ns);
 
   // --- end to end ---------------------------------------------------------
   std::fprintf(stderr, "  quickstart end-to-end...\n");
@@ -491,6 +769,37 @@ int run_perf_suite(const PerfOptions& options) {
                  sweep.identical_results ? "identical" : "DIFFERENT");
   }
 
+  // --- campaign: trial throughput, recycled vs fresh System forks ---------
+  CampaignBenchResult campaign;
+  if (options.run_campaign) {
+    std::fprintf(stderr, "  campaign recycled-vs-fresh...\n");
+    campaign = run_campaign_bench();
+    std::fprintf(stderr,
+                 "  %-28s %.1f trials/sec recycled, %.1f fresh (%.1fx "
+                 "marginal, %zu-trial window, %zu setups), results %s\n",
+                 "campaign.mitigations", campaign.recycled_trials_per_sec,
+                 campaign.fresh_trials_per_sec, campaign.speedup,
+                 campaign.trials - campaign.base_trials,
+                 campaign.shared_setups,
+                 campaign.identical_results ? "identical" : "DIFFERENT");
+    std::fprintf(stderr,
+                 "  %-28s %.0f allocs/trial recycled, %.0f fresh; peak RSS "
+                 "%.1f MiB\n",
+                 "", campaign.recycled_allocs_per_trial,
+                 campaign.fresh_allocs_per_trial, campaign.peak_rss_mb);
+    // The --compare gate tracks the campaign through its allocation counts,
+    // not its wall time: the deterministic workload makes allocs/trial
+    // byte-stable across runs and hosts (wall time on a small shared CI
+    // box is not), and a de-pooled buffer or leaky bed pool moves the
+    // count by far more than the 15% tolerance. The comparator is a
+    // smaller-is-better scalar check, so the entries ride alongside the
+    // ns kernels; throughput itself is tracked in the "campaign" section.
+    kernels.emplace_back("campaign.allocs_per_trial",
+                         campaign.recycled_allocs_per_trial);
+    kernels.emplace_back("campaign.allocs_per_trial_fresh",
+                         campaign.fresh_allocs_per_trial);
+  }
+
   bool check_passed = true;
   if (options.check) {
     const double speedup =
@@ -503,6 +812,24 @@ int run_perf_suite(const PerfOptions& options) {
                    "check: snapshot-reuse results differ from fresh: FAIL\n");
       check_passed = false;
     }
+    if (options.run_campaign) {
+      if (!campaign.identical_results) {
+        std::fprintf(stderr,
+                     "check: recycled-fork results differ from fresh: FAIL\n");
+        check_passed = false;
+      }
+      // The zero-allocation result path plus pooled beds must keep the
+      // recycled trial cycle at a small fraction of fresh-fork allocation
+      // traffic; a leaky pool or a de-pooled buffer shows up here.
+      const bool allocs_ok = campaign.recycled_allocs_per_trial <=
+                             0.10 * campaign.fresh_allocs_per_trial;
+      std::fprintf(stderr,
+                   "check: campaign allocs/trial recycled %.0f vs fresh %.0f "
+                   "(needs <= 10%%): %s\n",
+                   campaign.recycled_allocs_per_trial,
+                   campaign.fresh_allocs_per_trial, allocs_ok ? "ok" : "FAIL");
+      if (!allocs_ok) check_passed = false;
+    }
   }
   if (!options.compare_path.empty() &&
       !compare_with_baseline(kernels, options.compare_path))
@@ -510,7 +837,8 @@ int run_perf_suite(const PerfOptions& options) {
 
   std::ostringstream json;
   write_json(json, kernels, speedups, quickstart,
-             options.run_sweep ? &sweep : nullptr, options.check,
+             options.run_sweep ? &sweep : nullptr,
+             options.run_campaign ? &campaign : nullptr, options.check,
              check_passed);
   if (options.out_path == "-") {
     std::cout << json.str();

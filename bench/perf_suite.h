@@ -26,6 +26,11 @@ struct PerfOptions {
   /// Run the fresh-vs-snapshot sweep benchmark (the slowest section;
   /// --no-sweep skips it for quick kernel-only runs).
   bool run_sweep = true;
+  /// Run the campaign macro-benchmark: trial throughput (recycled vs fresh
+  /// System forks), allocations/trial, peak RSS over a mitigations payload
+  /// grid. --no-campaign skips it. Under --check the recycled mode must
+  /// produce byte-identical results and allocate <= 10% of fresh per trial.
+  bool run_campaign = true;
 };
 
 /// Runs the suite. The caller must have registered the builtin experiments

@@ -79,8 +79,20 @@ class Hierarchy {
     std::vector<SetAssocCache> l1;
     std::vector<SetAssocCache> l2;
     std::vector<SetAssocCache> llc;
+    /// Identifies this captured image, minted by export_state() from a
+    /// process-wide counter. Value copies share the id legitimately (they
+    /// hold the same bytes and States are never mutated after capture);
+    /// 0 = unknown provenance, never eligible for the fast import below.
+    std::uint64_t image_id = 0;
   };
   State export_state() const;
+
+  /// Overwrites the live cache arrays with `state`. Re-importing the image
+  /// this hierarchy last imported (matching nonzero image_id) takes the
+  /// O(touched) path: each cache rewinds only the sets dirtied since — the
+  /// fork-recycling hot path, where a full-plane copy of a multi-MiB LLC
+  /// would otherwise dominate the whole trial (bench/perf_suite.cc's
+  /// campaign section and DESIGN.md §6 quantify this).
   void import_state(const State& state);
 
  private:
@@ -90,6 +102,9 @@ class Hierarchy {
   std::vector<std::unique_ptr<SetAssocCache>> l1_;
   std::vector<std::unique_ptr<SetAssocCache>> l2_;
   std::unique_ptr<SetAssocCache> llc_;
+
+  /// image_id of the last State imported (or 0): gates the fast re-import.
+  std::uint64_t last_import_id_ = 0;
 
   obs::Hub* hub_ = nullptr;
   struct LevelCounters {

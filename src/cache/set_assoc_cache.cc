@@ -21,6 +21,7 @@ SetAssocCache::SetAssocCache(const Geometry& geometry,
   tags_.assign(sets * geometry_.ways, kInvalidLine);
   valid_.assign(sets, 0);
   set_evictions_.assign(sets, 0);
+  set_stamp_.assign(sets, 0);
   ways_mask_ = geometry_.ways >= 64 ? ~std::uint64_t{0}
                                     : (std::uint64_t{1} << geometry_.ways) - 1;
   flat_plru_ = replacement == ReplacementKind::kTreePlru;
@@ -138,7 +139,11 @@ SetAssocCache::SetAssocCache(const SetAssocCache& other)
       direct_modulo_(other.direct_modulo_),
       direct_mask_(other.direct_mask_),
       fill_passthrough_(other.fill_passthrough_),
-      rng_(other.rng_) {
+      rng_(other.rng_),
+      // The copy starts life as a clean image of `other`; it does not
+      // inherit the donor's dirty set (which describes the donor's drift
+      // from ITS baseline, not this copy's).
+      set_stamp_(other.set_stamp_.size(), 0) {
   MEECC_CHECK_MSG(indexing_ != nullptr && fill_ != nullptr,
                   "cache policy does not implement clone(); snapshot/fork "
                   "needs cloneable policies");
@@ -198,6 +203,7 @@ bool SetAssocCache::lookup(PhysAddr addr) {
   }
   ++stats_.hits;
   policy_touch(slot->set, slot->way);
+  mark_dirty(slot->set);
   return true;
 }
 
@@ -274,6 +280,7 @@ std::optional<PhysAddr> SetAssocCache::fill_impl(PhysAddr addr, WayMask allowed,
   if (check_resident) {
     if (const auto slot = find_slot(line)) {
       policy_touch(slot->set, slot->way);  // already resident: refresh
+      mark_dirty(slot->set);
       return std::nullopt;
     }
   }
@@ -297,6 +304,7 @@ std::optional<PhysAddr> SetAssocCache::fill_impl(PhysAddr addr, WayMask allowed,
   victim_tag = line;
   valid_[victim.set] |= way_bit;
   policy_touch(victim.set, victim.way);
+  mark_dirty(victim.set);
   return evicted;
 }
 
@@ -312,11 +320,15 @@ bool SetAssocCache::invalidate(PhysAddr addr) {
   tag_at(slot->set, slot->way) = kInvalidLine;
   valid_[slot->set] &= ~(std::uint64_t{1} << slot->way);
   policy_invalidate(slot->set, slot->way);
+  mark_dirty(slot->set);
   ++stats_.invalidations;
   return true;
 }
 
 void SetAssocCache::flush_all() {
+  // Touches an unbounded slice of the planes; per-set tracking would just
+  // enumerate everything, so widen to the full-copy restore path instead.
+  all_dirty_ = true;
   // The meta plane makes this O(occupied lines): a cold set is one load
   // and a skip, which matters because clflush-heavy trials re-flush whole
   // hierarchies between runs.
@@ -343,6 +355,8 @@ void SetAssocCache::rekey() {
 }
 
 void SetAssocCache::reset_stats() {
+  // Zeroes every per-set tally below, outside per-set tracking.
+  all_dirty_ = true;
   stats_ = CacheStats{};
   // The per-set tallies feed the detector and must stay consistent with
   // stats_.evictions (property_test asserts the sum); resetting one without
@@ -392,6 +406,35 @@ void SetAssocCache::decode_state(io::Reader& r) {
   stats_.evictions = r.u64();
   stats_.invalidations = r.u64();
   rng_ = decode_rng(r);
+  // The wire replaced the whole image; any baseline linkage is stale.
+  all_dirty_ = true;
+}
+
+void SetAssocCache::reset_dirty_tracking() {
+  dirty_sets_.clear();
+  ++stamp_gen_;
+  all_dirty_ = false;
+}
+
+bool SetAssocCache::fast_rewind_to(const SetAssocCache& baseline) {
+  // Non-tree-PLRU replacement keeps per-set policy objects whose rewind
+  // would clone allocations; rekey also swaps the indexing key, which lives
+  // outside the planes. Both are rare off the hot path — full-copy there.
+  if (all_dirty_ || !flat_plru_ || !baseline.flat_plru_ ||
+      tags_.size() != baseline.tags_.size())
+    return false;
+  const std::uint32_t ways = geometry_.ways;
+  for (const std::uint32_t s : dirty_sets_) {
+    std::copy_n(baseline.tags_.data() + std::uint64_t{s} * ways, ways,
+                tags_.data() + std::uint64_t{s} * ways);
+    valid_[s] = baseline.valid_[s];
+    plru_[s] = baseline.plru_[s];
+    set_evictions_[s] = baseline.set_evictions_[s];
+  }
+  stats_ = baseline.stats_;
+  rng_ = baseline.rng_;
+  reset_dirty_tracking();
+  return true;
 }
 
 std::uint32_t SetAssocCache::occupancy(std::uint64_t set) const {

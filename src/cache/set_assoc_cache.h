@@ -131,6 +131,23 @@ class SetAssocCache {
   void encode_state(io::Writer& w) const;
   void decode_state(io::Reader& r);
 
+  /// O(touched) rewind for the snapshot-restore hot path. Precondition
+  /// (the caller's to guarantee — Hierarchy::import_state keys it on the
+  /// State image id): this cache was byte-identical to `baseline` the last
+  /// time its dirty tracking was reset, and has only been mutated through
+  /// its own members since. Copies back just the sets dirtied since then,
+  /// plus the (tiny) stats and RNG, instead of the full planes. Returns
+  /// false without touching anything when the per-set path cannot prove
+  /// itself sound — tracking was widened to "everything" (flush_all, rekey,
+  /// reset_stats, decode_state) or the replacement policy keeps out-of-plane
+  /// state (non-tree-PLRU) — and the caller must full-copy instead.
+  bool fast_rewind_to(const SetAssocCache& baseline);
+
+  /// Declares the current contents a clean baseline image: clears the
+  /// dirty-set list. Called after any full overwrite (copy assignment and
+  /// fast_rewind_to do it themselves).
+  void reset_dirty_tracking();
+
  private:
   /// Empty-slot sentinel. Slots store the full line index (addr /
   /// line_size) whole — a truncated tag cannot reconstruct the evicted
@@ -213,6 +230,23 @@ class SetAssocCache {
   /// Forked last in the constructor; the default (modulo / all-ways) stack
   /// never draws from it, keeping legacy streams byte-identical.
   Rng rng_;
+
+  /// Dirty-set tracking for fast_rewind_to(): every mutating access stamps
+  /// its set with the current generation and (first time per generation)
+  /// records it in dirty_sets_. A generation bump is the O(1) "mark all
+  /// clean"; dirty_sets_ keeps its capacity across trials so steady-state
+  /// tracking allocates nothing.
+  void mark_dirty(std::uint64_t set) {
+    if (set_stamp_[set] == stamp_gen_) return;
+    set_stamp_[set] = stamp_gen_;
+    dirty_sets_.push_back(static_cast<std::uint32_t>(set));
+  }
+  std::vector<std::uint32_t> dirty_sets_;
+  std::vector<std::uint64_t> set_stamp_;
+  std::uint64_t stamp_gen_ = 1;
+  /// Set by whole-cache mutations that bypass per-set tracking; forces the
+  /// next restore to full-copy.
+  bool all_dirty_ = false;
 };
 
 }  // namespace meecc::cache

@@ -67,15 +67,37 @@ TestBed::TestBed(const TestBedConfig& config, const TestBedSnapshot& snap)
   // to overwrite mutable state on top.
   build_machine();
   system_->restore(snap.system);
+  restore_actors(snap);
+  respawn_environment();
+}
+
+void TestBed::restore_actors(const TestBedSnapshot& snap) {
   sim::Actor* actors[] = {trojan_actor_.get(), spy_actor_.get(),
                           noise_actor_.get(), background_actor_.get()};
   for (std::size_t i = 0; i < snap.actors.size(); ++i) {
-    actors[i]->busy_wait_until(snap.actors[i].clock);
+    actors[i]->restore_clock(snap.actors[i].clock);
     actors[i]->rng() = snap.actors[i].rng;
+    // libstdc++ map assignment reuses the destination's nodes, so the
+    // page-table copy does not reallocate on a recycled bed.
     actors[i]->vas() = snap.actors[i].vas;
   }
   noise_started_ = snap.noise_started;
+}
+
+bool TestBed::try_reset(const TestBedSnapshot& snap) {
+  // Cancel is idempotent on empty handles; after a completed trial only the
+  // environment agents are live, so this quiesces the bed. After an aborted
+  // trial (exception mid-transfer) coroutine frames may still be parked —
+  // they cannot be rewound, so report failure instead of CHECK-dying.
+  scheduler().cancel(background_handle_);
+  background_handle_ = sim::ProcessHandle{};
+  scheduler().cancel(noise_handle_);
+  noise_handle_ = sim::ProcessHandle{};
+  if (!scheduler().idle() || scheduler().live_processes() != 0) return false;
+  system_->restore_into(snap.system);
+  restore_actors(snap);
   respawn_environment();
+  return true;
 }
 
 void TestBed::build_machine() {

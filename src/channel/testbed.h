@@ -122,12 +122,24 @@ class TestBed {
   /// respawn_environment().
   TestBedSnapshot snapshot();
 
+  /// Rewinds a used bed back to `snap` in place — the recycling equivalent
+  /// of the fork constructor, reusing the machine's cache planes, DRAM
+  /// delta buckets, arena chunks and pad tables instead of reallocating
+  /// them. Returns false (leaving the bed unusable) if the bed cannot be
+  /// quiesced — an aborted trial left agents live — in which case the
+  /// caller must discard it and fork a fresh bed. `snap` must come from a
+  /// bed with an identical config, and the caller must keep it alive and
+  /// unmoved while the bed is recycled against it (the O(touched) counter
+  /// rewind keys on its address).
+  bool try_reset(const TestBedSnapshot& snap);
+
   const TestBedConfig& config() const { return config_; }
 
  private:
   void build_machine();
   void spawn_environment();
   void spawn_noise_agent();
+  void restore_actors(const TestBedSnapshot& snap);
 
   TestBedConfig config_;
   bool noise_started_ = false;

@@ -12,8 +12,9 @@ Counter CounterGroup::counter(std::string_view name) {
 Counter Registry::counter(std::string_view group, std::string_view name) {
   auto& slots = groups_[std::string(group)];
   auto it = slots.find(name);
-  if (it == slots.end()) it = slots.emplace(std::string(name), 0).first;
-  return Counter{&it->second};
+  if (it == slots.end())
+    it = slots.emplace(std::string(name), detail::CounterSlot{}).first;
+  return Counter{&it->second, &dirty_head_};
 }
 
 CounterGroup Registry::group(std::string_view name) {
@@ -23,8 +24,8 @@ CounterGroup Registry::group(std::string_view name) {
 CounterSnapshot Registry::snapshot() const {
   CounterSnapshot out;
   for (const auto& [group, slots] : groups_)
-    for (const auto& [name, value] : slots)
-      out.push_back({group + '.' + name, value});
+    for (const auto& [name, slot] : slots)
+      out.push_back({group + '.' + name, slot.value});
   // groups_ iterates sorted, but "a.b"."c" and "a"."b.c" interleave; sort
   // the flattened names so merged snapshots compare bit-identically.
   std::sort(out.begin(), out.end(),
@@ -34,20 +35,53 @@ CounterSnapshot Registry::snapshot() const {
   return out;
 }
 
-void Registry::reset() {
-  for (auto& [group, slots] : groups_)
-    for (auto& [name, value] : slots) value = 0;
+void Registry::clear_dirty_list() {
+  detail::CounterSlot* slot = dirty_head_;
+  while (slot != &detail::dirty_list_end) {
+    detail::CounterSlot* next = slot->next_dirty;
+    slot->next_dirty = nullptr;
+    slot = next;
+  }
+  dirty_head_ = &detail::dirty_list_end;
 }
 
-Registry::State Registry::capture() const { return groups_; }
+void Registry::reset() {
+  for (auto& [group, slots] : groups_)
+    for (auto& [name, slot] : slots) slot.value = slot.baseline = 0;
+  clear_dirty_list();
+  ++baseline_epoch_;
+}
+
+Registry::State Registry::capture() const {
+  State out;
+  for (const auto& [group, slots] : groups_) {
+    auto& values = out[group];
+    for (const auto& [name, slot] : slots)
+      values.emplace(name, slot.value);
+  }
+  return out;
+}
 
 void Registry::restore(const State& state) {
   // Zero first: slots registered after the capture must not keep post-capture
   // values, or a fork would double-count them.
   reset();
   for (const auto& [group, slots] : state)
-    for (const auto& [name, value] : slots)
-      groups_[group].insert_or_assign(name, value);
+    for (const auto& [name, value] : slots) {
+      detail::CounterSlot& slot = groups_[group][name];
+      slot.value = slot.baseline = value;
+    }
+}
+
+void Registry::restore_to_baseline() {
+  detail::CounterSlot* slot = dirty_head_;
+  while (slot != &detail::dirty_list_end) {
+    detail::CounterSlot* next = slot->next_dirty;
+    slot->value = slot->baseline;
+    slot->next_dirty = nullptr;
+    slot = next;
+  }
+  dirty_head_ = &detail::dirty_list_end;
 }
 
 void merge_into(CounterSnapshot& dst, const CounterSnapshot& src) {

@@ -24,6 +24,25 @@ namespace meecc::obs {
 
 class Registry;
 
+namespace detail {
+
+/// One counter's storage: the live value, the baseline recorded by the last
+/// full restore (or reset), and an intrusive dirty link. `next_dirty` is
+/// nullptr while the slot is clean; the first post-baseline increment links
+/// the slot into its registry's dirty list, so rewinding to the baseline
+/// touches only counters that actually moved.
+struct CounterSlot {
+  std::uint64_t value = 0;
+  std::uint64_t baseline = 0;
+  CounterSlot* next_dirty = nullptr;
+};
+
+/// Terminator of every dirty list (distinct from nullptr, which marks a
+/// clean slot).
+inline CounterSlot dirty_list_end;
+
+}  // namespace detail
+
 /// Cheap handle to one registry slot. Copyable; unbound handles drop
 /// increments.
 class Counter {
@@ -31,16 +50,26 @@ class Counter {
   Counter() = default;
 
   void inc(std::uint64_t n = 1) {
-    if (slot_ != nullptr) *slot_ += n;
+    if (slot_ == nullptr) return;
+    slot_->value += n;
+    // First touch since the baseline: link into the dirty list. The branch
+    // is predictable (taken once per slot per trial) and the link field
+    // shares the slot's cache line.
+    if (slot_->next_dirty == nullptr) {
+      slot_->next_dirty = *dirty_head_;
+      *dirty_head_ = slot_;
+    }
   }
-  std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+  std::uint64_t value() const { return slot_ != nullptr ? slot_->value : 0; }
   bool bound() const { return slot_ != nullptr; }
 
  private:
   friend class Registry;
-  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+  Counter(detail::CounterSlot* slot, detail::CounterSlot** dirty_head)
+      : slot_(slot), dirty_head_(dirty_head) {}
 
-  std::uint64_t* slot_ = nullptr;
+  detail::CounterSlot* slot_ = nullptr;
+  detail::CounterSlot** dirty_head_ = nullptr;
 };
 
 /// One counter's value at snapshot time; `name` is the full dotted path.
@@ -115,15 +144,30 @@ class Registry {
   /// Writes `state` back into the slots, creating any missing ones so
   /// lazily-bound counters (per-core stop levels, channel send/probe) are
   /// restored even before their component re-binds them. Slots absent from
-  /// `state` are zeroed. Existing handles stay valid.
+  /// `state` are zeroed. Existing handles stay valid. Also records `state`
+  /// as the new baseline, making a later restore_to_baseline() O(touched).
   void restore(const State& state);
 
+  /// Rewinds every counter to the baseline recorded by the last restore()
+  /// or reset(). O(counters touched since then) — the recycled-System fast
+  /// path for re-running trials from the same snapshot.
+  void restore_to_baseline();
+
+  /// Bumped on every operation that re-records the baseline (restore,
+  /// reset). Lets a caller detect that the baseline it remembers is stale.
+  std::uint64_t baseline_epoch() const { return baseline_epoch_; }
+
  private:
+  void clear_dirty_list();
+
   // Node-based nested maps: value slots never move, so Counter handles
   // survive later registrations.
-  std::map<std::string, std::map<std::string, std::uint64_t, std::less<>>,
+  std::map<std::string,
+           std::map<std::string, detail::CounterSlot, std::less<>>,
            std::less<>>
       groups_;
+  detail::CounterSlot* dirty_head_ = &detail::dirty_list_end;
+  std::uint64_t baseline_epoch_ = 0;
 };
 
 }  // namespace meecc::obs

@@ -1,0 +1,50 @@
+#include "runtime/bed_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/scope.h"
+
+namespace meecc::runtime {
+
+BedPool::~BedPool() {
+  // Workers outlive every trial scope, but guard anyway: destroying a
+  // System absorbs its counters into the ambient TrialScope, and a pooled
+  // bed's counters were already absorbed by the trial that used it last.
+  obs::TrialScope shield(nullptr);
+  entries_.clear();
+}
+
+PooledBed BedPool::take(std::string_view key) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const Entry& entry) { return entry.key == key; });
+  if (it == entries_.end()) return {};
+  PooledBed out = std::move(it->bed);
+  entries_.erase(it);
+  return out;
+}
+
+void BedPool::put(std::string key, PooledBed entry) {
+  if (!entry) return;
+  if (entries_.size() >= kMaxBeds) {
+    const auto oldest =
+        std::min_element(entries_.begin(), entries_.end(),
+                         [](const Entry& a, const Entry& b) {
+                           return a.stamp < b.stamp;
+                         });
+    drop(std::move(oldest->bed));
+    entries_.erase(oldest);
+    ++discards_;
+  }
+  entries_.push_back(
+      Entry{.key = std::move(key), .bed = std::move(entry), .stamp = clock_++});
+}
+
+void BedPool::drop(PooledBed entry) {
+  obs::TrialScope shield(nullptr);
+  entry.bed.reset();
+  entry.snap.reset();
+}
+
+}  // namespace meecc::runtime

@@ -1,0 +1,87 @@
+// Per-worker TestBed recycling for snapshot/fork trial execution.
+//
+// A forked trial's dominant fixed cost is constructing (and destroying) a
+// full TestBed: cache-plane arrays, DRAM delta buckets, page tables, AES
+// key schedules, arena chunks. Those allocations are identical from trial
+// to trial, so the runner gives each worker thread a small BedPool; a trial
+// takes the bed it used last time, rewinds it to the warm snapshot with
+// TestBed::try_reset() (O(touched state)), and parks it again when done.
+//
+// Each pool is owned by exactly one worker thread and is never shared, so
+// there is no locking and trial results cannot depend on scheduling: a
+// recycled bed is observationally identical to a freshly forked one, which
+// tests/snapshot_test.cc checks byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "channel/testbed.h"
+
+namespace meecc::runtime {
+
+/// A parked bed together with the snapshot it is recycled against. The
+/// `snap` shared_ptr both identifies the snapshot (try_reset's O(touched)
+/// counter rewind keys on its address) and keeps it alive while the bed
+/// sits in the pool.
+struct PooledBed {
+  std::unique_ptr<channel::TestBed> bed;
+  std::shared_ptr<const channel::TestBedSnapshot> snap;
+
+  explicit operator bool() const { return bed != nullptr; }
+};
+
+/// One worker thread's cache of recycled beds, keyed by the same string
+/// that names the warm setup state (plus a role suffix). Single-threaded
+/// by construction; the runner builds one per worker.
+class BedPool {
+ public:
+  BedPool() = default;
+  ~BedPool();
+
+  BedPool(const BedPool&) = delete;
+  BedPool& operator=(const BedPool&) = delete;
+
+  /// Removes and returns the entry under `key`; empty when absent.
+  PooledBed take(std::string_view key);
+
+  /// Parks `entry` under `key` for the next trial, evicting the
+  /// least-recently-parked entry beyond the cap. Disposal (eviction, pool
+  /// destruction, drop()) happens under a detached obs::TrialScope so a
+  /// destroyed System cannot absorb its counters into whichever trial
+  /// happens to be running.
+  void put(std::string key, PooledBed entry);
+
+  /// Destroys a bed that cannot be recycled (failed try_reset, stale
+  /// snapshot) without contaminating the current trial's counters.
+  static void drop(PooledBed entry);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Beds successfully rewound / discarded as unrecyclable — the
+  /// allocations-per-trial story in numbers.
+  std::uint64_t recycles() const { return recycles_; }
+  std::uint64_t discards() const { return discards_; }
+  void note_recycle() { ++recycles_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    PooledBed bed;
+    std::uint64_t stamp = 0;
+  };
+
+  /// Trials touch at most a handful of keys (one measure bed per setup
+  /// seed, one legit bed); a flat vector beats a map at this size.
+  static constexpr std::size_t kMaxBeds = 6;
+
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t recycles_ = 0;
+  std::uint64_t discards_ = 0;
+};
+
+}  // namespace meecc::runtime

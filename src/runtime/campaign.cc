@@ -300,16 +300,31 @@ CampaignShardResult run_campaign_shard(const Experiment& experiment,
 
   // Reorder buffer: on_trial fires in completion order; commits must
   // extend the contiguous prefix. Runs under the runner's callback mutex,
-  // so no locking here.
+  // so no locking here. Buffers cycle through a free list instead of being
+  // reallocated per trial — a committed line's capacity is reused by the
+  // next out-of-order arrival, so the steady-state result path allocates
+  // nothing.
   std::map<std::size_t, std::string> pending;
+  std::vector<std::string> spare_buffers;
   std::size_t next = first;
   RunnerConfig runner = options.runner;
   const auto chained = options.runner.on_trial;
   runner.on_trial = [&](const TrialRecord& record) {
-    pending.emplace(record.spec.trial_index, to_json_line(record));
+    std::string line;
+    if (!spare_buffers.empty()) {
+      line = std::move(spare_buffers.back());
+      spare_buffers.pop_back();
+      line.clear();
+    }
+    append_json_line(line, record);
+    line.push_back('\n');
+    pending.emplace(record.spec.trial_index, std::move(line));
     bool advanced = false;
     while (!pending.empty() && pending.begin()->first == next) {
-      out << pending.begin()->second << '\n';
+      std::string& committed = pending.begin()->second;
+      out.write(committed.data(),
+                static_cast<std::streamsize>(committed.size()));
+      spare_buffers.push_back(std::move(committed));
       pending.erase(pending.begin());
       ++next;
       advanced = true;

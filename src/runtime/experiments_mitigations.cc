@@ -22,6 +22,7 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "obs/scope.h"
+#include "runtime/bed_pool.h"
 #include "runtime/experiments.h"
 #include "runtime/params.h"
 #include "runtime/registry.h"
@@ -141,6 +142,99 @@ std::shared_ptr<const ChannelWarmState> decode_warm_state(
   return state;
 }
 
+/// RAII lease on one trial's TestBed. With an ambient BedPool the bed is
+/// recycled: taken from the pool, rewound in place to the snapshot, and
+/// parked again on release — after absorbing its counters into the ambient
+/// TrialScope, exactly what the fresh path's System destructor does, so
+/// per-trial counter totals are identical in both modes. Without a pool
+/// (recycling off, tracing, direct run() calls) it degenerates to plain
+/// construction and destruction.
+class TrialBed {
+ public:
+  /// Measure bed, forked from the warm state's snapshot. The aliasing
+  /// `snap` pointer pins the warm state while the bed sits in the pool,
+  /// and its address is the recycling identity: a pooled bed is rewound
+  /// only against the very snapshot it was forked from.
+  TrialBed(const channel::TestBedConfig& config, std::string key,
+           const std::shared_ptr<const ChannelWarmState>& warm)
+      : pool_(shared_setup_pool()), key_(std::move(key)) {
+    const std::shared_ptr<const channel::TestBedSnapshot> snap(warm,
+                                                               &warm->bed);
+    if (pool_ != nullptr) {
+      PooledBed pooled = pool_->take(key_);
+      if (pooled && pooled.snap == snap && pooled.bed->try_reset(*snap)) {
+        pool_->note_recycle();
+        entry_ = std::move(pooled);
+        return;
+      }
+      if (pooled) BedPool::drop(std::move(pooled));
+    }
+    entry_.bed = std::make_unique<channel::TestBed>(config, *snap);
+    entry_.snap = snap;
+  }
+
+  /// Legit-workload bed, built from scratch. BOTH modes cross the
+  /// quiesce→respawn boundary (a respawned environment agent is not a
+  /// construction no-op), so recycled and fresh runs stay byte-identical;
+  /// the first pooled use captures the pristine snapshot between the two
+  /// halves of that boundary for later rewinds.
+  TrialBed(const channel::TestBedConfig& config, std::string key)
+      : pool_(ambient_pool()), key_(std::move(key)) {
+    if (pool_ != nullptr) {
+      PooledBed pooled = pool_->take(key_);
+      if (pooled && pooled.snap != nullptr &&
+          pooled.bed->try_reset(*pooled.snap)) {
+        pool_->note_recycle();
+        entry_ = std::move(pooled);
+        return;
+      }
+      if (pooled) BedPool::drop(std::move(pooled));
+    }
+    entry_.bed = std::make_unique<channel::TestBed>(config);
+    entry_.bed->quiesce_environment();
+    if (pool_ != nullptr)
+      entry_.snap = std::make_shared<const channel::TestBedSnapshot>(
+          entry_.bed->snapshot());
+    entry_.bed->respawn_environment();
+  }
+
+  ~TrialBed() {
+    if (!entry_.bed) return;
+    if (pool_ == nullptr) {
+      entry_.bed.reset();  // the System destructor absorbs the counters
+      return;
+    }
+    if (auto* scope = obs::TrialScope::current())
+      scope->absorb(entry_.bed->system().hub().registry());
+    pool_->put(std::move(key_), std::move(entry_));
+  }
+
+  TrialBed(const TrialBed&) = delete;
+  TrialBed& operator=(const TrialBed&) = delete;
+
+  channel::TestBed& operator*() { return *entry_.bed; }
+  channel::TestBed* operator->() { return entry_.bed.get(); }
+
+ private:
+  static BedPool* ambient_pool() {
+    TrialContext* context = TrialContext::current();
+    return context != nullptr ? context->bed_pool() : nullptr;
+  }
+  /// Measure beds only recycle usefully when the warm state itself is
+  /// shared (same snapshot across trials); without a SetupCache every
+  /// trial builds a private warm state and pooling would just churn.
+  static BedPool* shared_setup_pool() {
+    TrialContext* context = TrialContext::current();
+    return context != nullptr && context->setup_cache() != nullptr
+               ? context->bed_pool()
+               : nullptr;
+  }
+
+  BedPool* pool_;
+  std::string key_;
+  PooledBed entry_;
+};
+
 /// End-to-end attack attempt (Algorithm 1 + discovery + Algorithm 2) for
 /// `spec` with `seed`. The setup phase is fetched through the memoized warm
 /// state and the measure phase ALWAYS runs on a fork — with or without an
@@ -150,22 +244,23 @@ ChannelOutcome attempt_channel(const TrialSpec& spec, std::uint64_t seed,
                                const std::vector<std::uint8_t>& payload) {
   channel::TestBedConfig config = make_testbed_config(spec);
   config.system.seed = seed;
+  const std::string key = warm_key_for(spec, seed);
   const auto warm = memoized_setup<ChannelWarmState>(
-      warm_key_for(spec, seed), [&] { return warm_channel_setup(config); },
+      key, [&] { return warm_channel_setup(config); },
       [&](const ChannelWarmState& state) {
         return encode_warm_state(config, state);
       },
       [&](std::string_view payload) {
         return decode_warm_state(config, payload);
       });
-  channel::TestBed bed(config, warm->bed);
+  TrialBed bed(config, key + "|measure", warm);
   ChannelOutcome outcome;
   if (warm->setup_ok) {
     try {
       // Deferred noise arrives once the channel is live (Fig. 8 scenario).
-      bed.start_noise();
+      bed->start_noise();
       const auto result = channel::transfer_covert_channel(
-          bed, channel::ChannelConfig{}, payload, warm->setup);
+          *bed, channel::ChannelConfig{}, payload, warm->setup);
       outcome.setup_ok = true;
       outcome.eviction_set_size = result.eviction.associativity();
       outcome.error_rate = result.error_rate;
@@ -177,7 +272,7 @@ ChannelOutcome attempt_channel(const TrialSpec& spec, std::uint64_t seed,
       // Transfer collapsed under this policy; report as a failed attempt.
     }
   }
-  outcome.rekeys = bed.system().mee().rekeys();
+  outcome.rekeys = bed->system().mee().rekeys();
   return outcome;
 }
 
@@ -200,9 +295,10 @@ TrialResult run_mitigation_channel(const TrialSpec& spec) {
   // set sized to exactly fill an unmitigated 8-way MEE cache.
   channel::TestBedConfig legit_config = make_testbed_config(spec);
   legit_config.system.seed = spec.seed + 1000;
-  channel::TestBed legit_bed(legit_config);
+  TrialBed legit_bed(legit_config,
+                     warm_key_for(spec, legit_config.system.seed) + "|legit");
   const auto legit = channel::measure_legit_workload(
-      legit_bed, param_u64(spec, "legit_bytes", 256 * 1024),
+      *legit_bed, param_u64(spec, "legit_bytes", 256 * 1024),
       static_cast<int>(param_u64(spec, "legit_samples", 3000)));
 
   TrialResult out;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/scope.h"
+#include "runtime/bed_pool.h"
 #include "runtime/setup_cache.h"
 
 namespace meecc::runtime {
@@ -28,14 +29,15 @@ class BufferSink : public obs::TraceSink {
 };
 
 TrialRecord run_one(const Experiment& experiment, const TrialSpec& spec,
-                    obs::TraceSink* trace_sink, SetupCache* setup_cache) {
+                    obs::TraceSink* trace_sink, SetupCache* setup_cache,
+                    BedPool* bed_pool) {
   TrialRecord record;
   record.spec = spec;
   // Ambient contexts: every System the trial constructs inherits the trace
   // sink and deposits its counters into the scope on destruction
   // (including during unwinding when the trial throws), and
   // memoized_setup() calls inside run() reach the sweep's SetupCache.
-  TrialContext context(setup_cache);
+  TrialContext context(setup_cache, bed_pool);
   obs::TrialScope scope(trace_sink);
   try {
     record.result = experiment.run(spec);
@@ -74,21 +76,31 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
   SetupCache setup_cache;
   if (reuse) setup_cache.attach_store(config.setup_store);
   SetupCache* cache_ptr = reuse ? &setup_cache : nullptr;
+  // Bed recycling is also off while tracing — a recycled bed skips the
+  // construction-phase events a fresh one would emit.
+  const bool recycle = config.recycle_systems && config.trace_sink == nullptr;
 
   std::mutex callback_mutex;
+  std::uint64_t bed_recycles = 0;
+  std::uint64_t bed_discards = 0;
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    BedPool bed_pool;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= trials.size()) return;
+      if (i >= trials.size()) break;
       obs::TraceSink* sink =
           buffer_traces ? &buffers[i] : config.trace_sink;
-      records[i] = run_one(experiment, trials[i], sink, cache_ptr);
+      records[i] = run_one(experiment, trials[i], sink, cache_ptr,
+                           recycle ? &bed_pool : nullptr);
       if (config.on_trial) {
         const std::lock_guard<std::mutex> lock(callback_mutex);
         config.on_trial(records[i]);
       }
     }
+    const std::lock_guard<std::mutex> lock(callback_mutex);
+    bed_recycles += bed_pool.recycles();
+    bed_discards += bed_pool.discards();
   };
 
   if (jobs <= 1) {
@@ -104,7 +116,9 @@ std::vector<TrialRecord> run_trials(const Experiment& experiment,
   if (stats != nullptr)
     *stats = SetupStats{.memory_hits = setup_cache.memory_hits(),
                         .disk_hits = setup_cache.disk_hits(),
-                        .builds = setup_cache.builds()};
+                        .builds = setup_cache.builds(),
+                        .bed_recycles = bed_recycles,
+                        .bed_discards = bed_discards};
   return records;
 }
 

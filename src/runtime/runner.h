@@ -51,6 +51,12 @@ struct RunnerConfig {
   /// SetupCache when reuse is active, so warm states survive the process
   /// and are shared across shards. Null = in-memory reuse only.
   SetupStore* setup_store = nullptr;
+  /// Recycle TestBeds across trials (bed_pool.h): each worker keeps its
+  /// last few beds and rewinds them in place instead of reconstructing.
+  /// A recycled bed is observationally identical to a fresh one, so this
+  /// only changes speed; `--no-recycle-systems` clears it for A/B runs.
+  /// Disabled automatically while tracing, like reuse_setup.
+  bool recycle_systems = true;
 };
 
 /// Sweep-wide setup-reuse statistics (zeros when reuse was off). A warm
@@ -60,6 +66,10 @@ struct SetupStats {
   std::uint64_t memory_hits = 0;
   std::uint64_t disk_hits = 0;
   std::uint64_t builds = 0;
+  /// Trials that rewound a pooled bed instead of constructing one, and
+  /// pooled beds that had to be thrown away (failed rewind or eviction).
+  std::uint64_t bed_recycles = 0;
+  std::uint64_t bed_discards = 0;
 };
 
 /// Runs every trial through experiment.run. A throwing trial is recorded

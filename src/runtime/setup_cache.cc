@@ -109,8 +109,8 @@ namespace {
 thread_local TrialContext* g_current_context = nullptr;
 }  // namespace
 
-TrialContext::TrialContext(SetupCache* cache)
-    : previous_(g_current_context), cache_(cache) {
+TrialContext::TrialContext(SetupCache* cache, BedPool* bed_pool)
+    : previous_(g_current_context), cache_(cache), bed_pool_(bed_pool) {
   g_current_context = this;
 }
 

@@ -27,6 +27,7 @@
 
 namespace meecc::runtime {
 
+class BedPool;
 class SetupStore;
 
 /// Thread-safe store of type-erased warm setup states keyed by setup key.
@@ -87,7 +88,7 @@ class SetupCache {
 /// no context (unit tests, direct run() calls) means "build fresh".
 class TrialContext {
  public:
-  explicit TrialContext(SetupCache* cache);
+  explicit TrialContext(SetupCache* cache, BedPool* bed_pool = nullptr);
   ~TrialContext();
 
   TrialContext(const TrialContext&) = delete;
@@ -98,9 +99,14 @@ class TrialContext {
 
   SetupCache* setup_cache() const { return cache_; }
 
+  /// This worker's bed-recycling pool (bed_pool.h), or nullptr when
+  /// recycling is off (--no-recycle-systems, tracing, direct run() calls).
+  BedPool* bed_pool() const { return bed_pool_; }
+
  private:
   TrialContext* previous_;
   SetupCache* cache_;
+  BedPool* bed_pool_;
 };
 
 /// Typed front door: the memoized state for `key`, built with `builder` on

@@ -1,5 +1,6 @@
 #include "runtime/sink.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -7,93 +8,146 @@
 
 namespace meecc::runtime {
 
-std::string format_double(double value) {
-  if (std::isnan(value)) return "null";  // JSON has no NaN
-  if (std::isinf(value)) return value > 0 ? "1e999" : "-1e999";
-  char buf[40];
-  // %.17g round-trips every double; integers still print bare ("15000").
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  return buf;
-}
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
+void JsonWriter::string(std::string_view s) {
+  out_.push_back('"');
   for (const char c : s) {
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
+      case '"': out_.append("\\\""); break;
+      case '\\': out_.append("\\\\"); break;
+      case '\n': out_.append("\\n"); break;
+      case '\r': out_.append("\\r"); break;
+      case '\t': out_.append("\\t"); break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
+          out_.append(buf);
         } else {
-          out += c;
+          out_.push_back(c);
         }
     }
   }
+  out_.push_back('"');
+}
+
+void JsonWriter::key(std::string_view k) {
+  string(k);
+  out_.push_back(':');
+}
+
+void JsonWriter::number(std::uint64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  out_.append(buf, end);
+}
+
+void JsonWriter::number(double value) {
+  if (std::isnan(value)) {
+    out_.append("null");  // JSON has no NaN
+    return;
+  }
+  if (std::isinf(value)) {
+    out_.append(value > 0 ? "1e999" : "-1e999");
+    return;
+  }
+  // precision-17 general format round-trips every double and is specified
+  // to match printf %.17g — byte-compatible with the pre-JsonWriter
+  // ostringstream path ("15000" stays bare, 0.017 round-trips).
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value,
+                                       std::chars_format::general, 17);
+  out_.append(buf, end);
+}
+
+std::string format_double(double value) {
+  std::string out;
+  JsonWriter(out).number(value);
   return out;
 }
 
-std::string to_json_line(const TrialRecord& record) {
-  std::string out = "{\"experiment\":\"";
-  out += json_escape(record.spec.experiment);
-  out += "\",\"trial\":" + std::to_string(record.spec.trial_index);
-  out += ",\"seed\":" + std::to_string(record.spec.seed);
-  out += ",\"params\":{";
+std::string json_escape(std::string_view s) {
+  std::string quoted;
+  JsonWriter(quoted).string(s);
+  return quoted.substr(1, quoted.size() - 2);  // drop the surrounding quotes
+}
+
+void append_json_line(std::string& out, const TrialRecord& record) {
+  JsonWriter w(out);
+  w.raw("{\"experiment\":");
+  w.string(record.spec.experiment);
+  w.raw(",\"trial\":");
+  w.number(static_cast<std::uint64_t>(record.spec.trial_index));
+  w.raw(",\"seed\":");
+  w.number(record.spec.seed);
+  w.raw(",\"params\":{");
   for (std::size_t i = 0; i < record.spec.params.size(); ++i) {
     const auto& [key, value] = record.spec.params[i];
-    if (i) out += ',';
-    out += '"' + json_escape(key) + "\":\"" + json_escape(value) + '"';
+    if (i) w.raw(',');
+    w.key(key);
+    w.string(value);
   }
-  out += "},\"ok\":";
-  out += record.ok ? "true" : "false";
+  w.raw("},\"ok\":");
+  w.boolean(record.ok);
   if (!record.ok) {
-    out += ",\"error\":\"" + json_escape(record.error) + '"';
-    return out + '}';
+    w.raw(",\"error\":");
+    w.string(record.error);
+    w.raw('}');
+    return;
   }
-  out += ",\"metrics\":{";
+  w.raw(",\"metrics\":{");
   for (std::size_t i = 0; i < record.result.metrics.size(); ++i) {
     const auto& [key, value] = record.result.metrics[i];
-    if (i) out += ',';
-    out += '"' + json_escape(key) + "\":" + format_double(value);
+    if (i) w.raw(',');
+    w.key(key);
+    w.number(value);
   }
-  out += '}';
+  w.raw('}');
   if (!record.result.series.empty()) {
-    out += ",\"series\":{";
+    w.raw(",\"series\":{");
     for (std::size_t i = 0; i < record.result.series.size(); ++i) {
       const auto& series = record.result.series[i];
-      if (i) out += ',';
-      out += '"' + json_escape(series.name) + "\":[";
+      if (i) w.raw(',');
+      w.key(series.name);
+      w.raw('[');
       for (std::size_t j = 0; j < series.values.size(); ++j) {
-        if (j) out += ',';
-        out += format_double(series.values[j]);
+        if (j) w.raw(',');
+        w.number(series.values[j]);
       }
-      out += ']';
+      w.raw(']');
     }
-    out += '}';
+    w.raw('}');
   }
   // Counters ride along only when present, keeping pre-observability
   // consumers (and byte-exact golden JSONL) unchanged for counter-less
   // records. Snapshot order is sorted-by-name, hence deterministic.
   if (!record.counters.empty()) {
-    out += ",\"counters\":{";
+    w.raw(",\"counters\":{");
     for (std::size_t i = 0; i < record.counters.size(); ++i) {
-      if (i) out += ',';
-      out += '"' + json_escape(record.counters[i].name) +
-             "\":" + std::to_string(record.counters[i].value);
+      if (i) w.raw(',');
+      w.key(record.counters[i].name);
+      w.number(record.counters[i].value);
     }
-    out += '}';
+    w.raw('}');
   }
-  return out + '}';
+  w.raw('}');
+}
+
+std::string to_json_line(const TrialRecord& record) {
+  std::string out;
+  append_json_line(out, record);
+  return out;
 }
 
 void write_jsonl(std::ostream& out, const std::vector<TrialRecord>& records) {
-  for (const TrialRecord& record : records) out << to_json_line(record) << '\n';
+  // One buffer for the whole stream: formatting stops allocating once it
+  // reaches the longest line's capacity.
+  std::string line;
+  for (const TrialRecord& record : records) {
+    line.clear();
+    append_json_line(line, record);
+    line.push_back('\n');
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
 }
 
 Table summary_table(const std::vector<TrialRecord>& records,

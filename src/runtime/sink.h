@@ -6,8 +6,10 @@
 // `--jobs 1` and downstream tooling can hash result files.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/table.h"
@@ -15,11 +17,40 @@
 
 namespace meecc::runtime {
 
+/// Append-only JSON assembler over a caller-owned buffer. The result path
+/// formats every trial through one of these into a recycled per-worker
+/// buffer, so emitting a record allocates nothing once the buffer has
+/// grown to steady state (numerics go through std::to_chars, escaping
+/// writes directly into the buffer). Byte-compatible with the previous
+/// ostringstream path: doubles use %.17g-equivalent round-trip formatting.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  void raw(char c) { out_.push_back(c); }
+  void raw(std::string_view s) { out_.append(s); }
+  /// Quoted, escaped JSON string.
+  void string(std::string_view s);
+  /// `"key":` — the escaped key of an object member.
+  void key(std::string_view k);
+  void number(std::uint64_t value);
+  void number(double value);
+  void boolean(bool value) { raw(value ? "true" : "false"); }
+
+ private:
+  std::string& out_;
+};
+
 /// One JSON object per record:
 ///   {"experiment":"fig7_window_sweep","trial":3,"seed":45,
 ///    "params":{"window":"15000",...},"ok":true,
 ///    "metrics":{"error_rate":0.017,...},"series":{"probe_times":[...]}}
 /// Failed trials carry "ok":false and "error" instead of metrics.
+/// Appends to `out` without clearing it (the zero-allocation path: callers
+/// clear() and reuse one buffer per worker).
+void append_json_line(std::string& out, const TrialRecord& record);
+
+/// Convenience wrapper returning a fresh string.
 std::string to_json_line(const TrialRecord& record);
 
 /// Writes to_json_line + '\n' for every record.

@@ -66,6 +66,9 @@ class Actor {
 
   Cycles now() const { return now_; }
   void advance(Cycles cycles) { now_ += cycles; }
+  /// Forces the local clock — snapshot restore only, the one place time may
+  /// move backwards (recycling a bed rewinds its actors to the snapshot).
+  void restore_clock(Cycles now) { now_ = now; }
 
   System& system() { return system_; }
   Scheduler& scheduler() { return system_.scheduler(); }

@@ -77,9 +77,12 @@ bool Scheduler::cancel(ProcessHandle handle) {
     }
     bucket.ready.resize(out);
     // An emptied non-epoch bucket is recycled here; its timestamp stays in
-    // times_ and is skipped lazily. The epoch bucket retires normally.
+    // times_ and is skipped lazily — except the on-deck bucket, which has
+    // no heap entry to go stale and must be dropped eagerly. The epoch
+    // bucket retires normally.
     if (!is_epoch && bucket.ready.empty()) {
       bucket.live = false;
+      if (slot == ondeck_slot_) ondeck_slot_ = kNoBucket;
       free_buckets_.push_back(slot);
     }
   }
@@ -93,66 +96,84 @@ bool Scheduler::cancel(ProcessHandle handle) {
 void Scheduler::restore_clock(Cycles now, std::uint64_t seq) {
   MEECC_CHECK_MSG(pending_ == 0 && owned_.empty() && finished_.empty(),
                   "restore_clock needs a quiesced scheduler");
+  MEECC_CHECK_MSG(ondeck_slot_ == kNoBucket,
+                  "a quiesced scheduler cannot hold an on-deck bucket");
   now_ = now;
   seq_ = seq;
 }
 
-std::uint32_t Scheduler::bucket_for(Cycles when) {
-  // Memo hit: the previous enqueue's bucket is still live at this
-  // timestamp. Miss: create a fresh bucket — no scan for an older
-  // same-time bucket, because the heap's creation-seq tie-break drains
-  // chained buckets in creation order anyway.
-  if (enqueue_hint_ < buckets_.size()) {
-    const TimeBucket& hint = buckets_[enqueue_hint_];
-    if (hint.live && hint.when == when) return enqueue_hint_;
-  }
-  std::uint32_t slot;
-  if (!free_buckets_.empty()) {
-    slot = free_buckets_.back();
-    free_buckets_.pop_back();
+void Scheduler::park_bucket(std::uint32_t slot, Cycles when) {
+  if (ondeck_slot_ != kNoBucket && when < buckets_[ondeck_slot_].when) {
+    // The new bucket preempts the on-deck one (strictly earlier beats the
+    // older creation seq); the demoted incumbent re-enters the heap, where
+    // it still precedes every existing entry.
+    const TimeBucket& old = buckets_[ondeck_slot_];
+    times_.push(TimeRef{old.when, old.seq, ondeck_slot_});
+    ondeck_slot_ = slot;
   } else {
-    slot = static_cast<std::uint32_t>(buckets_.size());
-    buckets_.emplace_back();
+    times_.push(TimeRef{when, buckets_[slot].seq, slot});
   }
-  buckets_[slot].when = when;
-  buckets_[slot].seq = seq_;
-  buckets_[slot].live = true;
-  times_.push(TimeRef{when, seq_, slot});
-  enqueue_hint_ = slot;
-  return slot;
 }
 
-void Scheduler::enqueue(std::coroutine_handle<> handle, Cycles when) {
-  // Events never fire in the past: a stale clock is clamped to `now`.
-  // seq_ still advances once per enqueue (snapshot/fork restores it), but
-  // the value is no longer stored per event — bucket append order carries
-  // the same tie-break.
-  scheduled_.inc();
-  ++seq_;
-  buckets_[bucket_for(std::max(when, now_))].ready.push_back(handle);
-  ++pending_;
+std::uint32_t Scheduler::grow_buckets() {
+  const auto slot = static_cast<std::uint32_t>(buckets_.size());
+  buckets_.emplace_back();
+  return slot;
 }
 
 void Scheduler::retire_epoch() {
   TimeBucket& bucket = buckets_[epoch_slot_];
   bucket.ready.clear();  // keeps capacity for the slot's next tenant
   bucket.live = false;
-  free_buckets_.push_back(epoch_slot_);
+  if (spare_slot_ == kNoBucket)
+    spare_slot_ = epoch_slot_;
+  else
+    free_buckets_.push_back(epoch_slot_);
   epoch_active_ = false;
   epoch_pos_ = 0;
 }
 
 std::coroutine_handle<> Scheduler::take_next(bool limited, Cycles limit) {
-  for (;;) {
-    if (epoch_active_) {
-      TimeBucket& bucket = buckets_[epoch_slot_];
-      if (epoch_pos_ < bucket.ready.size()) {
-        if (limited && bucket.when > limit) return nullptr;
-        --pending_;
-        return bucket.ready[epoch_pos_++];
-      }
-      retire_epoch();
+  if (epoch_active_) {
+    TimeBucket& bucket = buckets_[epoch_slot_];
+    if (epoch_pos_ < bucket.ready.size()) {
+      if (limited && bucket.when > limit) return nullptr;
+      --pending_;
+      return bucket.ready[epoch_pos_++];
     }
+    // Fused rotate — the serial-simulation hot path: the drained epoch
+    // retires and the on-deck bucket opens in one step, handing out its
+    // first event with zero heap traffic.
+    if (ondeck_slot_ != kNoBucket) {
+      TimeBucket& next = buckets_[ondeck_slot_];
+      if (!limited || next.when <= limit) {
+        bucket.ready.clear();
+        bucket.live = false;
+        if (spare_slot_ == kNoBucket)
+          spare_slot_ = epoch_slot_;
+        else
+          free_buckets_.push_back(epoch_slot_);
+        epoch_slot_ = ondeck_slot_;
+        ondeck_slot_ = kNoBucket;
+        now_ = next.when;
+        epoch_pos_ = 1;
+        --pending_;
+        return next.ready.front();
+      }
+    }
+  }
+  return take_next_cold(limited, limit);
+}
+
+std::coroutine_handle<> Scheduler::take_next_cold(bool limited, Cycles limit) {
+  if (epoch_active_) retire_epoch();
+  if (ondeck_slot_ != kNoBucket) {
+    // By invariant the on-deck bucket precedes every heap entry, so it
+    // opens as the next epoch without touching the heap.
+    if (limited && buckets_[ondeck_slot_].when > limit) return nullptr;
+    epoch_slot_ = ondeck_slot_;
+    ondeck_slot_ = kNoBucket;
+  } else {
     // Pop the next genuine entry (cancel() may have left stale ones — the
     // seq check also rejects a recycled slot's new tenant, which has its
     // own entry) and open its bucket as the new epoch.
@@ -169,10 +190,15 @@ std::coroutine_handle<> Scheduler::take_next(bool limited, Cycles limit) {
       epoch_slot_ = next.slot;
       break;
     }
-    epoch_pos_ = 0;
-    epoch_active_ = true;
-    now_ = buckets_[epoch_slot_].when;
   }
+  // An opened bucket always holds at least one event (cancel frees emptied
+  // buckets), so hand its first one out directly.
+  TimeBucket& bucket = buckets_[epoch_slot_];
+  epoch_active_ = true;
+  now_ = bucket.when;
+  epoch_pos_ = 1;
+  --pending_;
+  return bucket.ready.front();
 }
 
 void Scheduler::reap_finished() {
@@ -196,16 +222,18 @@ void Scheduler::reap_finished() {
 
 void Scheduler::dispatch(std::coroutine_handle<> handle) {
   // now_ was set when the handle's epoch was opened (all its events share
-  // that timestamp).
+  // that timestamp). The caller holds the arena scope: installing it once
+  // per run loop instead of per dispatch keeps the two thread-local writes
+  // off the per-event path.
   dispatched_.inc();
-  // Child Task frames created while the agent runs allocate (and freed
-  // frames recycle) through this scheduler's arena.
-  FrameArena::Scope scope(&arena_);
   handle.resume();
   if (!finished_.empty()) reap_finished();
 }
 
 std::uint64_t Scheduler::run_until(Cycles until) {
+  // Child Task frames created while agents run allocate (and freed frames
+  // recycle) through this scheduler's arena.
+  FrameArena::Scope scope(&arena_);
   std::uint64_t dispatched = 0;
   while (const auto handle = take_next(/*limited=*/true, until)) {
     dispatch(handle);
@@ -217,11 +245,13 @@ std::uint64_t Scheduler::run_until(Cycles until) {
 bool Scheduler::step() {
   const auto handle = take_next(/*limited=*/false, 0);
   if (!handle) return false;
+  FrameArena::Scope scope(&arena_);
   dispatch(handle);
   return true;
 }
 
 std::uint64_t Scheduler::run_to_completion() {
+  FrameArena::Scope scope(&arena_);
   std::uint64_t dispatched = 0;
   while (const auto handle = take_next(/*limited=*/false, 0)) {
     dispatch(handle);

@@ -227,7 +227,19 @@ class Scheduler {
 
   /// Re-arms `handle` (any simulation coroutine) to resume once `when`
   /// becomes the global minimum. Called by awaitables, not user code.
-  void enqueue(std::coroutine_handle<> handle, Cycles when);
+  /// Inline (with bucket_for) because awaitables call it from headers once
+  /// per simulated event — an out-of-line hop here is measurable on the
+  /// scheduler.dispatch kernel.
+  void enqueue(std::coroutine_handle<> handle, Cycles when) {
+    // Events never fire in the past: a stale clock is clamped to `now`.
+    // seq_ still advances once per enqueue (snapshot/fork restores it), but
+    // the value is no longer stored per event — bucket append order carries
+    // the same tie-break.
+    scheduled_.inc();
+    ++seq_;
+    buckets_[bucket_for(std::max(when, now_))].ready.push_back(handle);
+    ++pending_;
+  }
 
   /// Runs events with time <= `until`; returns events processed. Rethrows
   /// the first exception that escaped a top-level Process.
@@ -286,15 +298,62 @@ class Scheduler {
 
   /// Index of a live bucket for `when` to append to: the one-slot enqueue
   /// memo when it matches, else a freshly created bucket (registered in
-  /// times_) — never a scan. Same-time buckets may therefore coexist; the
-  /// heap drains them in creation order, which is enqueue order.
-  std::uint32_t bucket_for(Cycles when);
+  /// times_ or parked on deck) — never a scan. Same-time buckets may
+  /// therefore coexist; the heap drains them in creation order, which is
+  /// enqueue order.
+  std::uint32_t bucket_for(Cycles when) {
+    if (enqueue_hint_ < buckets_.size()) {
+      const TimeBucket& hint = buckets_[enqueue_hint_];
+      if (hint.live && hint.when == when) return enqueue_hint_;
+    }
+    std::uint32_t slot;
+    if (spare_slot_ != kNoBucket) {
+      slot = spare_slot_;
+      spare_slot_ = kNoBucket;
+    } else if (!free_buckets_.empty()) {
+      slot = free_buckets_.back();
+      free_buckets_.pop_back();
+    } else {
+      slot = grow_buckets();
+    }
+    buckets_[slot].when = when;
+    buckets_[slot].seq = seq_;
+    buckets_[slot].live = true;
+    // Keep the bucket on deck instead of in the heap when it is provably
+    // the minimum of all non-epoch pending buckets; see ondeck_slot_. Ties
+    // go to the heap: the new bucket's larger creation seq sorts it after
+    // the incumbent, so (when, seq) order is preserved either way.
+    if (ondeck_slot_ == kNoBucket &&
+        (times_.empty() || when < times_.top().when)) {
+      // top() may be stale, but a stale ref's timestamp is a lower bound
+      // for every live entry behind it, so beating it is conclusive.
+      ondeck_slot_ = slot;
+    } else {
+      park_bucket(slot, when);  // out of line: keeps the heap-push template
+                                // code off this always-hot path
+    }
+    enqueue_hint_ = slot;
+    return slot;
+  }
+
+  /// Registers a freshly created bucket in times_ (or swaps it with the
+  /// on-deck bucket when it is strictly earlier). The cold half of
+  /// bucket_for.
+  void park_bucket(std::uint32_t slot, Cycles when);
+
+  /// Appends a new TimeBucket slot (vector growth — cold).
+  std::uint32_t grow_buckets();
 
   /// Hands out the next runnable handle in (when, seq) order, or nullptr.
   /// Drains the active epoch flat (no heap ops between same-time events),
   /// retiring it and popping the next timestamp off times_ when it runs
   /// dry. With `limited`, events after `limit` stay queued.
   std::coroutine_handle<> take_next(bool limited, Cycles limit);
+
+  /// The cold tail of take_next: retires a drained epoch and opens the next
+  /// bucket (on deck, or popped from the heap past stale entries),
+  /// returning its first event.
+  std::coroutine_handle<> take_next_cold(bool limited, Cycles limit);
 
   void retire_epoch();
 
@@ -342,6 +401,20 @@ class Scheduler {
   std::priority_queue<TimeRef, std::vector<TimeRef>, std::greater<>> times_;
   std::vector<TimeBucket> buckets_;
   std::vector<std::uint32_t> free_buckets_;
+  /// On-deck fast path: the one bucket that is provably the global minimum
+  /// among non-epoch pending buckets, held OUTSIDE the heap. A bucket lands
+  /// here when it is created with the heap empty (any younger bucket sorts
+  /// after it); it is demoted into the heap when a strictly earlier bucket
+  /// appears. In the dominant serial regime — each dispatch enqueues one
+  /// event at a strictly later time — every epoch transition is
+  /// retire + open-on-deck with zero heap traffic, which is what keeps
+  /// scheduler.dispatch near the pre-epoch-queue cost.
+  static constexpr std::uint32_t kNoBucket = ~std::uint32_t{0};
+  std::uint32_t ondeck_slot_ = kNoBucket;
+  /// One-slot fast free list in front of free_buckets_: the fused
+  /// retire+open rotation parks the retired slot here and the very next
+  /// bucket_for reclaims it, skipping the vector round trip.
+  std::uint32_t spare_slot_ = kNoBucket;
   /// One-slot memo: the most recently created bucket, checked first on
   /// every enqueue. Always the newest bucket for its timestamp (creation is
   /// the only assignment), so a memo hit never appends behind a younger

@@ -193,6 +193,34 @@ void System::restore(const SystemSnapshot& snap) {
   rng_ = snap.rng;
   scheduler_.restore_clock(snap.sched_now, snap.sched_seq);
   hub_.registry().restore(snap.counters);
+  last_restored_ = &snap;
+  counter_epoch_ = hub_.registry().baseline_epoch();
+}
+
+void System::restore_into(const SystemSnapshot& snap) {
+  const bool counters_current =
+      last_restored_ == &snap &&
+      counter_epoch_ == hub_.registry().baseline_epoch();
+  memory_.restore(snap.memory);
+  dram_.restore(snap.dram);
+  hierarchy_.import_state(snap.hierarchy);
+  mee_->import_state(snap.mee);
+  peek_cipher_.import_pad_state(snap.peek_pads);
+  epc_allocator_.restore_cursor(snap.epc_cursor);
+  general_allocator_.restore_cursor(snap.general_cursor);
+  rng_ = snap.rng;
+  scheduler_.restore_clock(snap.sched_now, snap.sched_seq);
+  if (counters_current) {
+    // The registry's baseline is already this snapshot's counter image
+    // (nothing reset it since the last restore from `snap`), so rewinding
+    // the dirty set — O(counters the trial touched) — replaces the full
+    // O(all slots) string-keyed restore.
+    hub_.registry().restore_to_baseline();
+  } else {
+    hub_.registry().restore(snap.counters);
+    last_restored_ = &snap;
+  }
+  counter_epoch_ = hub_.registry().baseline_epoch();
 }
 
 std::unique_ptr<System> System::fork(const SystemConfig& config,

@@ -122,6 +122,14 @@ class System {
   /// machine's own.
   void restore(const SystemSnapshot& snap);
 
+  /// restore(), but tuned for recycling one machine across many trials from
+  /// the same snapshot: when this System's counter baseline still matches
+  /// `snap` (same snapshot object, no intervening reset), counters rewind
+  /// via the registry's dirty set in O(touched) instead of O(all). The
+  /// caller must keep `snap` alive (and unmoved) across the trials — the
+  /// fast path keys on its address.
+  void restore_into(const SystemSnapshot& snap);
+
   /// Builds a fresh machine from `config` and restores `snap` onto it —
   /// the snapshot/fork layer's single-call entry point. O(touched-state):
   /// construction cost plus pointer-shared DRAM.
@@ -148,6 +156,11 @@ class System {
   mem::EpcAllocator epc_allocator_;
   mem::GeneralAllocator general_allocator_;
   Scheduler scheduler_;
+
+  /// restore_into() fast-path key: the snapshot whose counter image is the
+  /// registry's current baseline, and the baseline epoch it was recorded at.
+  const SystemSnapshot* last_restored_ = nullptr;
+  std::uint64_t counter_epoch_ = 0;
 
   obs::Counter reads_;
   obs::Counter writes_;

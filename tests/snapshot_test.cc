@@ -7,20 +7,31 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cache/hierarchy.h"
 #include "channel/covert_channel.h"
+#include "channel/mitigation.h"
 #include "channel/testbed.h"
+#include "common/bytes.h"
 #include "common/rng.h"
+#include "crypto/aes_backend.h"
 #include "obs/counters.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
+#include "runtime/bed_pool.h"
+#include "runtime/campaign.h"
 #include "runtime/experiment.h"
+#include "runtime/experiments.h"
+#include "runtime/registry.h"
 #include "runtime/runner.h"
 #include "runtime/setup_cache.h"
+#include "runtime/sink.h"
+#include "runtime/sweep.h"
 #include "sim/des.h"
 #include "sim/frame_arena.h"
 #include "sim/system.h"
@@ -458,6 +469,210 @@ TEST(Runner, ParallelTraceBufferingMatchesSerialOrder) {
 
   EXPECT_EQ(serial_sink.events().size(), 24u);
   EXPECT_EQ(serial_sink.events(), parallel_sink.events());
+}
+
+// ---------------------------------------------------------------------------
+// Bed recycling: a rewound TestBed must be indistinguishable from a fresh
+// fork, across AES backends, and the pool's churn paths must be memory-safe.
+
+// One fork runs the measure phase, is rewound with try_reset(), and runs it
+// again: golden trace, channel result, and counter totals must all match the
+// first pass exactly — the recycled-System contract the runner relies on.
+// Exercised per AES backend because the MEE's pad caches and key schedules
+// are part of the restored state and each backend keeps different internals.
+// The "reference" backend is excluded on cost grounds (it is ~15x slower and
+// its equivalence to ttable is already pinned by crypto_test).
+TEST(TestBedRecycle, RewoundBedMatchesItsFirstRunAcrossAesBackends) {
+  for (const std::string backend : {"ttable", "aesni", "auto"}) {
+    if (!crypto::aes_backend_available(backend)) continue;
+    channel::TestBedConfig config = channel::default_testbed_config(77);
+    config.noise_autostart = false;
+    config.system.mee.aes_backend = backend;
+    const channel::ChannelConfig channel_config;
+    const auto payload = channel::alternating_bits(10);
+
+    channel::TestBed donor(config);
+    const channel::ChannelSetup setup =
+        channel::setup_covert_channel(donor, channel_config);
+    ASSERT_TRUE(setup.monitor_found) << backend;
+    donor.quiesce_environment();
+    const channel::TestBedSnapshot snap = donor.snapshot();
+
+    channel::TestBed bed(config, snap);
+    obs::CollectingSink first_sink;
+    bed.system().hub().set_trace_sink(&first_sink);
+    bed.start_noise();
+    const channel::ChannelResult first =
+        channel::transfer_covert_channel(bed, channel_config, payload, setup);
+    bed.system().hub().set_trace_sink(nullptr);
+    const obs::CounterSnapshot first_counters =
+        bed.system().hub().registry().snapshot();
+
+    ASSERT_TRUE(bed.try_reset(snap)) << backend;
+    obs::CollectingSink second_sink;
+    bed.system().hub().set_trace_sink(&second_sink);
+    bed.start_noise();
+    const channel::ChannelResult second =
+        channel::transfer_covert_channel(bed, channel_config, payload, setup);
+    bed.system().hub().set_trace_sink(nullptr);
+
+    EXPECT_EQ(first_sink.events(), second_sink.events()) << backend;
+    EXPECT_EQ(first.received, second.received) << backend;
+    EXPECT_EQ(first.bit_errors, second.bit_errors) << backend;
+    EXPECT_EQ(first.probe_times, second.probe_times) << backend;
+    EXPECT_EQ(first.transfer_cycles, second.transfer_cycles) << backend;
+    EXPECT_EQ(first_counters, bed.system().hub().registry().snapshot())
+        << backend;
+  }
+}
+
+// The merged JSONL stream is the sweep's observable: it must come out
+// byte-identical whatever the jobs count, the shard split, or the recycling
+// mode — the acceptance contract of the trial-throughput engine. Shard
+// slices reuse the campaign's range arithmetic, so the concatenation in
+// shard order is exactly the unsharded stream.
+TEST(Runner, MergedJsonlByteIdenticalAcrossJobsShardsAndRecycling) {
+  runtime::register_builtin_experiments();
+  const runtime::Experiment& experiment =
+      runtime::get_experiment("mitigations");
+  runtime::SweepSpec spec;
+  spec.sets = {{"mee.cache.indexing", "modulo"},
+               {"setup_attempts", "1"},
+               {"legit_bytes", "8192"},
+               {"legit_samples", "100"}};
+  spec.axes = {{"bits", {"4", "5", "6", "7", "8", "9"}}};
+  spec.seeds = 1;
+  const std::vector<runtime::TrialSpec> trials =
+      runtime::expand_sweep(experiment, spec);
+
+  const auto merged_jsonl = [&](unsigned jobs, unsigned shard_count,
+                                bool recycle) {
+    std::ostringstream out;
+    for (unsigned index = 1; index <= shard_count; ++index) {
+      const runtime::ShardRange range = runtime::shard_range(
+          trials.size(), runtime::ShardSpec{index, shard_count});
+      const std::vector<runtime::TrialSpec> slice(
+          trials.begin() + static_cast<std::ptrdiff_t>(range.begin),
+          trials.begin() + static_cast<std::ptrdiff_t>(range.end));
+      runtime::RunnerConfig config;
+      config.jobs = jobs;
+      config.recycle_systems = recycle;
+      const std::vector<runtime::TrialRecord> records =
+          runtime::run_trials(experiment, slice, config);
+      runtime::write_jsonl(out, records);
+    }
+    return out.str();
+  };
+
+  const std::string reference = merged_jsonl(1, 1, false);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference, merged_jsonl(1, 1, true)) << "jobs=1 recycle";
+  EXPECT_EQ(reference, merged_jsonl(4, 1, true)) << "jobs=4 recycle";
+  EXPECT_EQ(reference, merged_jsonl(1, 3, true)) << "3 shards recycle";
+  EXPECT_EQ(reference, merged_jsonl(4, 3, true)) << "jobs=4, 3 shards";
+}
+
+// Pool churn: more keys than the pool cap, so every round evicts parked
+// beds, discards failed rewinds, and recycles survivors that then run real
+// work. The point is the ASan/LSan tier: park/evict/drop must neither leak
+// a bed nor leave a dangling snapshot reference.
+TEST(BedPool, RecycleEvictionChurnIsMemorySafe) {
+  constexpr int kKeys = 8;  // pool cap is 6: guarantees evictions
+  std::vector<channel::TestBedConfig> configs;
+  std::vector<std::shared_ptr<const channel::TestBedSnapshot>> snaps;
+  for (int key = 0; key < kKeys; ++key) {
+    configs.push_back(channel::default_testbed_config(9000 + key));
+    configs.back().noise_autostart = false;
+    channel::TestBed donor(configs.back());
+    donor.quiesce_environment();
+    snaps.push_back(
+        std::make_shared<const channel::TestBedSnapshot>(donor.snapshot()));
+  }
+
+  runtime::BedPool pool;
+  const auto cycle = [&](int key) {
+    const std::string pool_key = "bed:" + std::to_string(key);
+    runtime::PooledBed entry = pool.take(pool_key);
+    if (entry && entry.snap == snaps[static_cast<std::size_t>(key)] &&
+        entry.bed->try_reset(*entry.snap)) {
+      pool.note_recycle();
+    } else {
+      if (entry) runtime::BedPool::drop(std::move(entry));
+      entry.bed = std::make_unique<channel::TestBed>(
+          configs[static_cast<std::size_t>(key)],
+          *snaps[static_cast<std::size_t>(key)]);
+      entry.snap = snaps[static_cast<std::size_t>(key)];
+    }
+    (void)channel::measure_legit_workload(*entry.bed, 4096, 50);
+    pool.put(pool_key, std::move(entry));
+  };
+
+  // Thrash phase: round-robin over more keys than the cap, so every take
+  // misses and every put evicts the least-recently-parked bed.
+  for (int round = 0; round < 2; ++round)
+    for (int key = 0; key < kKeys; ++key) cycle(key);
+  EXPECT_LE(pool.size(), 6u);
+  EXPECT_EQ(pool.recycles(), 0u);  // LRU thrash: nothing survives to reuse
+
+  // Hit phase: a working set that fits the cap, so parked beds survive and
+  // every subsequent round rewinds them in place.
+  for (int round = 0; round < 3; ++round)
+    for (int key = 0; key < 4; ++key) cycle(key);
+  EXPECT_GE(pool.recycles(), 8u);  // 4 keys x rounds 2..3 all recycle
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy dirty-set rewind.
+
+// Re-importing the same State image must land on exactly the bytes a full
+// copy produces, whether the O(touched) rewind runs or the tracking was
+// widened (flush_all) and the import falls back to full copies. Equality is
+// checked on the snapshot wire encoding, which covers every mutable field.
+TEST(HierarchyState, FastReimportMatchesFullCopy) {
+  cache::HierarchyConfig config;
+  config.llc.size_bytes = 256 * 1024;  // small planes keep the test quick
+  const auto encode = [](const cache::Hierarchy& h) {
+    io::Writer w;
+    for (unsigned c = 0; c < h.core_count(); ++c) {
+      h.l1(CoreId{c}).encode_state(w);
+      h.l2(CoreId{c}).encode_state(w);
+    }
+    h.llc().encode_state(w);
+    return w.take();
+  };
+  const auto touch = [](cache::Hierarchy& h, std::uint64_t salt) {
+    Rng rng(salt);
+    for (int i = 0; i < 2000; ++i)
+      h.access(CoreId{static_cast<unsigned>(i & 1)},
+               PhysAddr{(rng.next_u64() % (1 << 22)) & ~std::uint64_t{63}});
+    for (int i = 0; i < 64; ++i)
+      h.clflush(PhysAddr{static_cast<std::uint64_t>(i) * 64});
+  };
+
+  cache::Hierarchy live(config, 2, Rng(11));
+  touch(live, 1);
+  const cache::Hierarchy::State state = live.export_state();
+  ASSERT_NE(state.image_id, 0u);
+
+  // Reference image: a sibling hierarchy that full-copies the state.
+  cache::Hierarchy reference(config, 2, Rng(11));
+  reference.import_state(state);
+  const std::string want = encode(reference);
+
+  touch(live, 2);
+  live.import_state(state);  // first import of this image: full copy
+  EXPECT_EQ(encode(live), want);
+
+  touch(live, 3);
+  live.import_state(state);  // same image again: O(touched) rewind
+  EXPECT_EQ(encode(live), want);
+
+  // Widened tracking (flush_all touches everything) must fall back to the
+  // full-copy path and still land on the image.
+  touch(live, 4);
+  live.flush_all();
+  live.import_state(state);
+  EXPECT_EQ(encode(live), want);
 }
 
 }  // namespace
