@@ -81,6 +81,12 @@ int usage(std::FILE* out) {
       "                            manifest watermark\n"
       "      --stop-after K        commit at most K trials this invocation,\n"
       "                            then exit (deterministic kill for tests)\n"
+      "      --streaming           stream each trial's JSONL line as it\n"
+      "                            commits and drop the record — peak memory\n"
+      "                            stays flat at any trial count (requires\n"
+      "                            --json; the default for --shard runs)\n"
+      "      --no-streaming        keep every record in memory (enables the\n"
+      "                            summary table for --shard runs)\n"
       "      --artifacts           print per-trial charts/tables even for "
       "sweeps\n"
       "      --quiet               no per-trial progress on stderr\n"
@@ -99,7 +105,9 @@ int usage(std::FILE* out) {
       "                            fail if any is >15%% slower\n"
       "      --no-sweep            skip the fresh-vs-snapshot sweep section\n"
       "      --no-campaign         skip the campaign macro-benchmark\n"
-      "                            (recycled-vs-fresh trial throughput)\n");
+      "                            (recycled-vs-fresh trial throughput)\n"
+      "      --no-scaling          skip the strong-scaling section\n"
+      "                            (streaming campaign throughput vs --jobs)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -120,6 +128,8 @@ int cmd_perf(const std::vector<std::string>& args) {
       options.run_sweep = false;
     } else if (args[i] == "--no-campaign") {
       options.run_campaign = false;
+    } else if (args[i] == "--no-scaling") {
+      options.run_scaling = false;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", args[i].c_str());
       return usage(stderr);
@@ -253,6 +263,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   std::uint64_t trace_sample = 1, stop_after = 0;
   bool quiet = false, force_artifacts = false, show_counters = false;
   bool reuse_setup = true, recycle_systems = true, resume = false;
+  bool streaming = false, streaming_set = false;
   const std::vector<std::string> rest =
       runtime::parse_sweep_args(args, &sweep);
   for (std::size_t i = 0; i < rest.size(); ++i) {
@@ -293,6 +304,12 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       resume = true;
     } else if (arg == "--stop-after") {
       stop_after = runtime::parse_u64("--stop-after", value());
+    } else if (arg == "--streaming") {
+      streaming = true;
+      streaming_set = true;
+    } else if (arg == "--no-streaming") {
+      streaming = false;
+      streaming_set = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--artifacts") {
@@ -318,6 +335,25 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   } else if (resume || stop_after != 0 || !campaign_dir.empty()) {
     std::fprintf(stderr, "--dir/--resume/--stop-after require --shard i/N\n");
     return 2;
+  }
+
+  // Campaigns default to bounded memory (the shard JSONL is the output
+  // either way); plain runs keep records unless asked, since the summary
+  // table and --counters read them.
+  if (!streaming_set) streaming = !shard_text.empty();
+  if (streaming && shard_text.empty()) {
+    if (json_path.empty()) {
+      std::fprintf(stderr,
+                   "--streaming emits results as JSONL only; it needs "
+                   "--json PATH ('-' for stdout)\n");
+      return 2;
+    }
+    if (show_counters || force_artifacts) {
+      std::fprintf(stderr,
+                   "--counters/--artifacts need in-memory records; drop "
+                   "them or use --no-streaming\n");
+      return 2;
+    }
   }
 
   const std::vector<runtime::TrialSpec> trials =
@@ -393,6 +429,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
     options.directory = campaign_dir;
     options.resume = resume;
     options.stop_after = stop_after;
+    options.streaming = streaming;
     options.runner = runner;
     progress_total = runtime::shard_range(trials.size(), options.shard).size();
     const runtime::CampaignShardResult shard =
@@ -406,11 +443,49 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
           shard.resumed_from != 0 ? " (resumed)" : "",
           shard.manifest.complete() ? "" : " — rerun with --resume to finish");
     }
-    std::printf("%s",
-                runtime::summary_table(shard.records, columns).to_text().c_str());
-    for (const auto& record : shard.records)
-      if (!record.ok) return 1;
-    return 0;
+    if (!streaming)
+      std::printf(
+          "%s",
+          runtime::summary_table(shard.records, columns).to_text().c_str());
+    return shard.failures != 0 ? 1 : 0;
+  }
+
+  if (streaming) {
+    std::ofstream json_file;
+    std::ostream* json_out = &std::cout;
+    if (json_path != "-") {
+      json_file.open(json_path, std::ios::binary);
+      if (!json_file) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     json_path.c_str());
+        return 1;
+      }
+      json_out = &json_file;
+    }
+    runtime::JsonlResultStream stream(*json_out);
+    std::size_t failures = 0;
+    const auto progress = runner.on_trial;
+    runner.on_trial = [&](const runtime::TrialRecord& record) {
+      if (!record.ok) ++failures;
+      if (progress) progress(record);
+    };
+    runner.stream = &stream;
+    runner.keep_records = false;
+    runtime::SetupStats setup_stats;
+    runtime::run_trials(experiment, trials, runner, &setup_stats);
+    if (runner.trace_sink) runner.trace_sink->flush();
+    json_out->flush();
+    if (!*json_out) {
+      std::fprintf(stderr, "write to '%s' failed\n", json_path.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      print_setup_stats(setup_stats);
+      std::fprintf(stderr, "streamed %zu trial%s to %s (%zu failed)\n",
+                   trials.size(), trials.size() == 1 ? "" : "s",
+                   json_path == "-" ? "stdout" : json_path.c_str(), failures);
+    }
+    return failures != 0 ? 1 : 0;
   }
 
   runtime::SetupStats setup_stats;

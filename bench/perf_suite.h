@@ -31,6 +31,13 @@ struct PerfOptions {
   /// grid. --no-campaign skips it. Under --check the recycled mode must
   /// produce byte-identical results and allocate <= 10% of fresh per trial.
   bool run_campaign = true;
+  /// Run the strong-scaling section: streaming-mode campaign throughput and
+  /// parallel efficiency at jobs in {1, 2, 4, hw}. Throughput/efficiency
+  /// are report-only (wall clocks are not gateable on shared hosts — the
+  /// PR 7/9 clock lesson); the deterministic streaming allocations/trial
+  /// figure joins the tracked kernels and the --check gate. --no-scaling
+  /// skips it.
+  bool run_scaling = true;
 };
 
 /// Runs the suite. The caller must have registered the builtin experiments

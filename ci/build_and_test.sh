@@ -9,7 +9,7 @@
 # diff, counters JSONL); build trees also leave obs_artifacts/ dirs behind.
 set -euo pipefail
 
-# Usage: build_and_test.sh [all|hardened|perf|nosimd|shard]
+# Usage: build_and_test.sh [all|hardened|perf|nosimd|shard|tsan]
 #   all       (default) plain + sanitized builds, full suite, determinism smoke
 #   hardened  warnings-hardened configuration only (-Wall -Wextra -Wshadow
 #             -Werror); runs as its own CI job so shadowing regressions fail
@@ -28,6 +28,13 @@ set -euo pipefail
 #             merge, and diff against the unsharded JSONL; then rerun the
 #             sweep purely from the on-disk setup store the shards left
 #             behind. Shard manifests land in $ROOT/ci-artifacts on failure.
+#             Streaming is the shard-mode default; the stage also reruns the
+#             sweep --no-streaming and as a streaming plain run, cmp'ing both
+#             against the same reference bytes.
+#   tsan      -DMEECC_SANITIZE=thread build; runs the parallel suites that
+#             hammer the lock-free MPSC queue, the committer pipeline, and
+#             the atomic bed-pool stats, so every data race on the per-trial
+#             result path fails CI instead of corrupting a campaign
 STAGE="${1:-all}"
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -146,6 +153,27 @@ elif [ "$STAGE" = "shard" ]; then
   cmp "$DIR/reference.jsonl" "$DIR/merged.jsonl"
   echo "merged 3 shards byte-identical to the unsharded run"
 
+  echo "--- streaming plain run matches the in-memory reference ---"
+  # Same sweep through the bounded-memory path: records dropped after
+  # commit, bytes out of the JsonlResultStream. Must be the same bytes.
+  "$BENCH" "${SWEEP[@]}" --jobs 4 --setup-store "$STORE" --streaming \
+    --json "$DIR/streaming.jsonl" > /dev/null
+  cmp "$DIR/reference.jsonl" "$DIR/streaming.jsonl"
+
+  echo "--- --no-streaming shards merge to the same bytes ---"
+  # Shard mode defaults to streaming, so the campaign above already ran
+  # that way; this covers the other side of the streaming axis.
+  CAMPAIGN2="$DIR/campaign-nostream"
+  rm -rf "$CAMPAIGN2"
+  "$BENCH" "${SWEEP[@]}" --jobs 4 --setup-store "$STORE" --no-streaming \
+    --shard 1/2 --dir "$CAMPAIGN2"
+  "$BENCH" "${SWEEP[@]}" --jobs 1 --setup-store "$STORE" --no-streaming \
+    --shard 2/2 --dir "$CAMPAIGN2"
+  "$BENCH" merge --dir "$CAMPAIGN2" --json "$DIR/merged-nostream.jsonl"
+  cmp "$DIR/reference.jsonl" "$DIR/merged-nostream.jsonl"
+  rm -rf "$CAMPAIGN2"
+  echo "streaming on/off both reproduce the reference byte for byte"
+
   echo "--- unsharded rerun served entirely from the shards' setup store ---"
   SETUP_LINE=$("$BENCH" "${SWEEP[@]}" --jobs 4 --setup-store "$STORE" \
     --json "$DIR/from-store.jsonl" 2>&1 | grep 'setup reuse' || true)
@@ -163,8 +191,24 @@ elif [ "$STAGE" = "shard" ]; then
   rm -rf "$CAMPAIGN"  # keep manifests out of the artifact upload on success
   echo "CI OK (shard)"
   exit 0
+elif [ "$STAGE" = "tsan" ]; then
+  echo "=== thread-sanitized build (lock-free result pipeline) ==="
+  DIR="$ROOT/build-ci-tsan"
+  cmake -B "$DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMEECC_SANITIZE=thread
+  cmake --build "$DIR" -j "$JOBS" \
+    --target mpsc_queue_test runtime_test campaign_test snapshot_test
+  # The parallel suites that drive the MPSC queue, the committer pipeline,
+  # and the atomic bed-pool stats hard enough for TSan to see every
+  # producer/consumer pairing on the per-trial result path.
+  "$DIR/tests/mpsc_queue_test"
+  "$DIR/tests/runtime_test"
+  "$DIR/tests/campaign_test"
+  "$DIR/tests/snapshot_test" --gtest_filter='Runner.*:BedPool.*'
+  echo "CI OK (tsan)"
+  exit 0
 elif [ "$STAGE" != "all" ]; then
-  echo "unknown stage '$STAGE' (expected: all, hardened, perf, nosimd, shard)" >&2
+  echo "unknown stage '$STAGE' (expected: all, hardened, perf, nosimd, shard, tsan)" >&2
   exit 2
 fi
 

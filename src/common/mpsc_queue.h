@@ -1,0 +1,121 @@
+// Bounded lock-free multi-producer single-consumer FIFO.
+//
+// This is Vyukov's bounded MPMC ring specialised to one consumer: each cell
+// carries a sequence number that encodes whose turn it is (a producer's when
+// seq == position, the consumer's when seq == position + 1), so producers
+// synchronise only on a single fetch-position CAS and a per-cell
+// release-store, and the consumer needs no atomics beyond the per-cell
+// acquire-load — no locks, no unbounded growth, natural backpressure when
+// the ring is full.
+//
+// Exchange contract: try_push and try_pop SWAP the caller's object with the
+// cell's instead of copying through it. On a successful push the caller
+// gets back whatever the cell last held (a consumed message whose strings
+// still own their capacity); on a successful pop the consumer's spare is
+// parked in the cell and will ride back to some producer on a later push.
+// Heap capacity therefore circulates producer -> cell -> consumer -> cell
+// -> producer, and the steady-state result path allocates nothing.
+//
+// The runner's worker->committer result pipeline (runtime/runner.cc) is the
+// canonical user; tests/mpsc_queue_test.cc pins the FIFO/exchange semantics
+// and the TSan CI leg proves the memory model under real contention.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace meecc {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so position
+  /// arithmetic is a mask, not a modulo.
+  explicit MpscQueue(std::size_t capacity) {
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded <<= 1;
+    mask_ = rounded - 1;
+    cells_ = std::make_unique<Cell[]>(rounded);
+    for (std::size_t i = 0; i < rounded; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer push. On success swaps `item` into the queue (item
+  /// receives the cell's previous, consumed payload) and returns true;
+  /// returns false with `item` untouched when the ring is full.
+  bool try_push(T& item) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        // Our turn if we win the position; losing just reloads.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          using std::swap;
+          swap(cell.value, item);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // the consumer has not freed this cell yet: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Blocking push: spins (then yields) until a slot frees up. Safe only
+  /// while the consumer is guaranteed to keep draining — the runner's
+  /// committer drains to the end even after an error for exactly this
+  /// reason.
+  void push(T& item) {
+    for (std::uint32_t spins = 0; !try_push(item); ++spins) {
+      if (spins >= 64) std::this_thread::yield();
+    }
+  }
+
+  /// Single-consumer pop. On success swaps the head payload into `item`
+  /// (the cell keeps item's previous value as the recycled husk a future
+  /// push will hand back to a producer) and returns true; false when empty.
+  bool try_pop(T& item) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(head_ + 1) <
+        0)
+      return false;  // producer has not published this cell yet: empty
+    using std::swap;
+    swap(cell.value, item);
+    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  /// Producer-shared claim position, on its own line so producer CAS
+  /// traffic does not bounce the consumer's head.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  /// Consumer-only; plain because exactly one thread ever touches it.
+  alignas(64) std::size_t head_ = 0;
+};
+
+}  // namespace meecc

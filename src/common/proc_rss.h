@@ -1,0 +1,24 @@
+// Process peak-RSS readout, shared by the perf suite and the streaming
+// memory-flatness tests.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace meecc {
+
+/// VmHWM from /proc/self/status, in MiB (0 when unreadable — non-Linux).
+/// The high-water mark is monotonic for the process lifetime: callers
+/// comparing phases must run the low-memory phase first.
+inline double peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+  }
+  return 0.0;
+}
+
+}  // namespace meecc

@@ -7,7 +7,6 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <utility>
 
@@ -298,53 +297,60 @@ CampaignShardResult run_campaign_shard(const Experiment& experiment,
   std::ofstream out(data_path, std::ios::binary | std::ios::app);
   if (!out) throw std::runtime_error("cannot append to '" + data_path + "'");
 
-  // Reorder buffer: on_trial fires in completion order; commits must
-  // extend the contiguous prefix. Runs under the runner's callback mutex,
-  // so no locking here. Buffers cycle through a free list instead of being
-  // reallocated per trial — a committed line's capacity is reused by the
-  // next out-of-order arrival, so the steady-state result path allocates
-  // nothing.
-  std::map<std::size_t, std::string> pending;
-  std::vector<std::string> spare_buffers;
-  std::size_t next = first;
-  RunnerConfig runner = options.runner;
-  const auto chained = options.runner.on_trial;
-  runner.on_trial = [&](const TrialRecord& record) {
-    std::string line;
-    if (!spare_buffers.empty()) {
-      line = std::move(spare_buffers.back());
-      spare_buffers.pop_back();
-      line.clear();
+  // Commit sink for the runner's streaming pipeline: workers encode lines
+  // off-lock, the committer restores trial order and hands us contiguous
+  // batches (runner.h ResultStream). One flush + one atomic manifest
+  // rewrite per batch; positions are run-local (the work slice starts at
+  // the watermark), so committed = watermark + first + count.
+  class ShardCommitter final : public ResultStream {
+   public:
+    ShardCommitter(std::ofstream& data, std::string path,
+                   ShardManifest& manifest, std::string manifest_path,
+                   std::size_t watermark)
+        : out_(data),
+          data_path_(std::move(path)),
+          manifest_(manifest),
+          manifest_path_(std::move(manifest_path)),
+          watermark_(watermark) {}
+
+    void commit(std::size_t batch_first, const std::string* lines,
+                std::size_t count) override {
+      for (std::size_t i = 0; i < count; ++i)
+        out_.write(lines[i].data(),
+                   static_cast<std::streamsize>(lines[i].size()));
+      out_.flush();
+      if (!out_)
+        throw std::runtime_error("write to '" + data_path_ + "' failed");
+      manifest_.committed = watermark_ + batch_first + count;
+      write_manifest(manifest_path_, manifest_);
     }
-    append_json_line(line, record);
-    line.push_back('\n');
-    pending.emplace(record.spec.trial_index, std::move(line));
-    bool advanced = false;
-    while (!pending.empty() && pending.begin()->first == next) {
-      std::string& committed = pending.begin()->second;
-      out.write(committed.data(),
-                static_cast<std::streamsize>(committed.size()));
-      spare_buffers.push_back(std::move(committed));
-      pending.erase(pending.begin());
-      ++next;
-      advanced = true;
-    }
-    if (advanced) {
-      out.flush();
-      if (!out)
-        throw std::runtime_error("write to '" + data_path + "' failed");
-      manifest.committed = next - range.begin;
-      write_manifest(manifest_path, manifest);
-    }
-    if (chained) chained(record);
+
+   private:
+    std::ofstream& out_;
+    const std::string data_path_;
+    ShardManifest& manifest_;
+    const std::string manifest_path_;
+    const std::size_t watermark_;
   };
+  ShardCommitter committer(out, data_path, manifest, manifest_path, watermark);
 
   CampaignShardResult result;
   result.resumed_from = watermark;
-  result.records = run_trials(experiment, work, runner, &result.setup_stats);
 
-  // Every record passed through on_trial, so the buffer drained and the
-  // manifest on disk already reads watermark + count.
+  RunnerConfig runner = options.runner;
+  runner.stream = &committer;
+  runner.keep_records = !options.streaming;
+  const auto chained = options.runner.on_trial;
+  std::size_t failures = 0;
+  runner.on_trial = [&](const TrialRecord& record) {
+    if (!record.ok) ++failures;
+    if (chained) chained(record);
+  };
+  result.records = run_trials(experiment, work, runner, &result.setup_stats);
+  result.failures = failures;
+
+  // Every line passed through the committer in order, so the manifest on
+  // disk already reads watermark + count.
   manifest.committed = watermark + count;
   result.manifest = manifest;
   return result;

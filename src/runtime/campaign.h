@@ -18,8 +18,12 @@
 // (temp file + rename) — so after a kill at ANY point, the first
 // `committed` lines of the shard JSONL are valid and everything after them
 // is garbage a resume may discard. Results finish out of order under
-// --jobs N; a reorder buffer holds them until their turn so commits always
-// extend the contiguous prefix.
+// --jobs N; the runner's committer pipeline (runner.h ResultStream)
+// restores trial order and hands this file contiguous in-order batches of
+// up to kCommitBatch lines, so the shard pays one flush and one manifest
+// rewrite per batch instead of per trial. The watermark still only ever
+// trails durable lines — batching changes commit granularity, never the
+// crash-consistency invariant.
 //
 // `merge` scans the directory for manifests, checks that exactly one
 // campaign is present (equal hashes, equal shard counts, every index
@@ -108,18 +112,26 @@ struct CampaignShardOptions {
   /// deterministic stand-in for a kill: the shard files are left exactly
   /// as a crash between commits would.
   std::size_t stop_after = 0;
+  /// Drop each TrialRecord once its line is committed instead of
+  /// returning them all in CampaignShardResult::records — peak RSS stays
+  /// independent of shard size. `failures` still counts, and on_trial
+  /// still sees every full record.
+  bool streaming = false;
   /// jobs / setup_store / on_trial pass through to the runner; the
-  /// campaign chains its own committing callback after on_trial.
+  /// campaign installs its own ResultStream committer (and failure
+  /// counter) around them.
   RunnerConfig runner;
 };
 
 struct CampaignShardResult {
   ShardManifest manifest;  ///< final state, as last written to disk
   /// Records of the trials executed THIS invocation, in trial order
-  /// (resumed or stopped-early shards cover a sub-range).
+  /// (resumed or stopped-early shards cover a sub-range). Empty when
+  /// options.streaming — read the shard JSONL instead.
   std::vector<TrialRecord> records;
   SetupStats setup_stats;        ///< this invocation's setup resolutions
   std::size_t resumed_from = 0;  ///< watermark inherited at start
+  std::size_t failures = 0;      ///< trials with ok=false this invocation
 };
 
 /// Runs (or resumes) one shard of the campaign over the full expanded

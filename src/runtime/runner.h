@@ -1,9 +1,18 @@
 // The parallel trial runner.
 //
 // Each trial builds its own sim::System from its TrialSpec, so trials share
-// no mutable state and the pool is embarrassingly parallel. Results land in
-// a vector slot per trial_index, and every trial's seed comes from the spec
-// — output is bit-identical at any job count.
+// no mutable state and the pool is embarrassingly parallel. Every trial's
+// seed comes from the spec, so output is bit-identical at any job count.
+//
+// Results leave the pool two ways, composable per RunnerConfig:
+//   - the in-memory API: run_trials returns a vector in trial order
+//     (keep_records, the default), exactly as before;
+//   - the streaming path: workers encode each finished record into a JSONL
+//     line off any lock and hand it through a bounded lock-free MPSC queue
+//     to a single committer, which restores trial order and feeds a
+//     ResultStream in contiguous batches. With keep_records=false nothing
+//     accumulates, so peak RSS is independent of trial count — the mode
+//     campaigns and `meecc_bench run --streaming` use.
 #pragma once
 
 #include <cstdint>
@@ -31,15 +40,42 @@ struct TrialRecord {
   obs::CounterSnapshot counters;
 };
 
+/// Consumer of the streaming result path. The runner calls commit() with
+/// newline-terminated JSONL lines (append_json_line bytes) covering trial
+/// positions [first, first + count) of the trials vector passed to
+/// run_trials — always contiguous, always in order, each position exactly
+/// once across the run. Calls arrive on the committer thread (jobs > 1) or
+/// the calling thread (jobs <= 1), never concurrently. An exception thrown
+/// from commit() stops the sweep and rethrows from run_trials.
+class ResultStream {
+ public:
+  virtual ~ResultStream() = default;
+  virtual void commit(std::size_t first, const std::string* lines,
+                      std::size_t count) = 0;
+};
+
 struct RunnerConfig {
   unsigned jobs = 1;  ///< worker threads; 0 means hardware_concurrency()
-  /// Completion callback (progress reporting). Called from worker threads
-  /// under an internal mutex, in completion order — NOT trial order.
+  /// Completion callback (progress reporting). Called in completion order
+  /// — NOT trial order — from the committer thread (jobs > 1) or the
+  /// calling thread (jobs <= 1); never concurrently with itself or with
+  /// stream->commit. An exception thrown here stops the sweep and
+  /// rethrows from run_trials.
   std::function<void(const TrialRecord&)> on_trial;
+  /// Streaming consumer (see ResultStream). Non-null turns on worker-side
+  /// JSONL encoding and the committer pipeline; lines are committed in
+  /// trial-order batches of up to kCommitBatch.
+  ResultStream* stream = nullptr;
+  /// When false, run_trials returns an empty vector and each TrialRecord
+  /// is dropped as soon as the committer has passed it to on_trial /
+  /// stream — bounded memory for million-trial campaigns. Callers get
+  /// results via stream/on_trial only.
+  bool keep_records = true;
   /// Borrowed trace sink. Sinks are single-threaded by contract; with
-  /// jobs > 1 the runner buffers each trial's events and replays every
-  /// buffer into the sink in trial order after the pool joins, so traced
-  /// sweeps parallelize and the output is byte-identical to jobs=1.
+  /// jobs > 1 the runner buffers each trial's events in a per-in-flight
+  /// buffer and the committer replays the buffers into the sink in trial
+  /// order, so traced sweeps parallelize and the output is byte-identical
+  /// to jobs=1.
   obs::TraceSink* trace_sink = nullptr;
   /// Reuse warm setup state across trials sharing an Experiment::setup_key
   /// (snapshot/fork execution). Ignored for experiments without a
@@ -59,6 +95,10 @@ struct RunnerConfig {
   bool recycle_systems = true;
 };
 
+/// Most in-order lines the committer hands one ResultStream::commit call
+/// (one flush + one watermark update per batch on the campaign path).
+inline constexpr std::size_t kCommitBatch = 64;
+
 /// Sweep-wide setup-reuse statistics (zeros when reuse was off). A warm
 /// state is resolved exactly one way per (process, key): found in memory,
 /// loaded from the attached SetupStore, or built fresh.
@@ -73,9 +113,12 @@ struct SetupStats {
 };
 
 /// Runs every trial through experiment.run. A throwing trial is recorded
-/// (ok=false, error=what()) without aborting the sweep. The returned vector
-/// is in trial order regardless of completion order. `stats`, when
-/// non-null, receives the sweep's setup-cache resolution counts.
+/// (ok=false, error=what()) without aborting the sweep; an exception from
+/// on_trial or stream->commit stops the sweep, is captured (first wins),
+/// and rethrows here after the pool joins. The returned vector is in trial
+/// order regardless of completion order (empty when !config.keep_records).
+/// `stats`, when non-null, receives the sweep's setup-cache resolution
+/// counts.
 std::vector<TrialRecord> run_trials(const Experiment& experiment,
                                     const std::vector<TrialSpec>& trials,
                                     const RunnerConfig& config,

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "runtime/experiment.h"
 
@@ -148,6 +149,13 @@ void write_jsonl(std::ostream& out, const std::vector<TrialRecord>& records) {
     line.push_back('\n');
     out.write(line.data(), static_cast<std::streamsize>(line.size()));
   }
+}
+
+void JsonlResultStream::commit(std::size_t /*first*/, const std::string* lines,
+                               std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    out_.write(lines[i].data(), static_cast<std::streamsize>(lines[i].size()));
+  if (!out_) throw std::runtime_error("streaming JSONL write failed");
 }
 
 Table summary_table(const std::vector<TrialRecord>& records,

@@ -56,6 +56,20 @@ std::string to_json_line(const TrialRecord& record);
 /// Writes to_json_line + '\n' for every record.
 void write_jsonl(std::ostream& out, const std::vector<TrialRecord>& records);
 
+/// ResultStream appending committed lines to an ostream: the bounded-memory
+/// `--json --streaming` path. Output is byte-identical to write_jsonl over
+/// the same records — lines arrive from the runner's committer already in
+/// trial order.
+class JsonlResultStream final : public ResultStream {
+ public:
+  explicit JsonlResultStream(std::ostream& out) : out_(out) {}
+  void commit(std::size_t first, const std::string* lines,
+              std::size_t count) override;
+
+ private:
+  std::ostream& out_;
+};
+
 /// Round-trip double formatting ("15000", "0.017000000000000001").
 std::string format_double(double value);
 

@@ -11,9 +11,11 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/proc_rss.h"
 #include "common/rng.h"
 #include "runtime/campaign.h"
 #include "runtime/experiment.h"
@@ -184,18 +186,29 @@ TEST(CampaignMatrix, EverySplitAndJobCountMergesByteIdentical) {
 
   for (const unsigned shards : {1u, 2u, 4u}) {
     for (const unsigned jobs : {1u, 4u}) {
-      ScratchDir dir("matrix_" + std::to_string(shards) + "_" +
-                     std::to_string(jobs));
-      for (unsigned i = 1; i <= shards; ++i) {
-        runtime::CampaignShardOptions options;
-        options.shard = runtime::ShardSpec{.index = i, .count = shards};
-        options.directory = dir.str();
-        options.runner.jobs = jobs;
-        const auto result = runtime::run_campaign_shard(exp, trials, options);
-        EXPECT_TRUE(result.manifest.complete());
+      for (const bool streaming : {false, true}) {
+        ScratchDir dir("matrix_" + std::to_string(shards) + "_" +
+                       std::to_string(jobs) + (streaming ? "_s" : ""));
+        for (unsigned i = 1; i <= shards; ++i) {
+          runtime::CampaignShardOptions options;
+          options.shard = runtime::ShardSpec{.index = i, .count = shards};
+          options.directory = dir.str();
+          options.runner.jobs = jobs;
+          options.streaming = streaming;
+          const auto result =
+              runtime::run_campaign_shard(exp, trials, options);
+          EXPECT_TRUE(result.manifest.complete());
+          EXPECT_EQ(result.failures, 0u);
+          // Streaming mode drops records after commit; the bytes on disk
+          // are the only output, and they must not change.
+          if (streaming) {
+            EXPECT_TRUE(result.records.empty());
+          }
+        }
+        EXPECT_EQ(merged_jsonl(dir.str()), reference)
+            << shards << " shards at jobs=" << jobs
+            << " streaming=" << streaming;
       }
-      EXPECT_EQ(merged_jsonl(dir.str()), reference)
-          << shards << " shards at jobs=" << jobs;
     }
   }
 }
@@ -301,6 +314,138 @@ TEST(CampaignResume, RefusesManifestFromAnotherCampaign) {
       runtime::run_campaign_shard(exp, toy_trials(9), options);
   EXPECT_TRUE(restarted.manifest.complete());
   EXPECT_EQ(restarted.resumed_from, 0u);
+}
+
+// The committer batches up to kCommitBatch lines per manifest rewrite.
+// Kill a shard mid-batch (a throwing callback interrupts the pipeline
+// between commits) and check the durability invariant the batching must
+// not weaken: the watermark never runs ahead of the flushed JSONL lines,
+// and what is committed is an exact prefix of the reference stream.
+TEST(CampaignResume, MidBatchKillNeverCommitsAheadOfDurableLines) {
+  const runtime::Experiment exp = toy_experiment();
+  const auto trials = toy_trials(100);
+  const std::string reference = unsharded_jsonl(exp, trials, 1);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return std::move(buffer).str();
+  };
+  const auto count_lines = [](const std::string& text) {
+    std::size_t lines = 0;
+    for (const char c : text) lines += c == '\n';
+    return lines;
+  };
+  const auto prefix_lines = [](const std::string& text, std::size_t n) {
+    std::size_t pos = 0;
+    for (std::size_t line = 0; line < n; ++line)
+      pos = text.find('\n', pos) + 1;
+    return text.substr(0, pos);
+  };
+
+  for (const unsigned jobs : {1u, 4u}) {
+    ScratchDir dir("midbatch_" + std::to_string(jobs));
+    runtime::CampaignShardOptions options;
+    options.shard = runtime::ShardSpec{.index = 1, .count = 1};
+    options.directory = dir.str();
+    options.streaming = true;
+    options.runner.jobs = jobs;
+    std::size_t done = 0;
+    options.runner.on_trial = [&done](const runtime::TrialRecord&) {
+      if (++done == 70) throw std::runtime_error("killed mid-batch");
+    };
+    EXPECT_THROW(runtime::run_campaign_shard(exp, trials, options),
+                 std::runtime_error);
+
+    const runtime::ShardManifest manifest = runtime::manifest_from_json(
+        slurp(runtime::shard_manifest_path(dir.str(), options.shard)));
+    const std::string data =
+        slurp(runtime::shard_jsonl_path(dir.str(), options.shard));
+    ASSERT_GE(count_lines(data), manifest.committed)
+        << "watermark ran ahead of durable lines at jobs=" << jobs;
+    EXPECT_EQ(prefix_lines(data, manifest.committed),
+              prefix_lines(reference, manifest.committed));
+    if (jobs == 1) {
+      // The inline path flushes only on a full batch, so exactly one
+      // batch of kCommitBatch trials was durable when the kill landed
+      // after trial 70 — proof the watermark moves per batch, not per
+      // trial.
+      EXPECT_EQ(manifest.committed, runtime::kCommitBatch);
+      EXPECT_EQ(count_lines(data), runtime::kCommitBatch);
+    }
+
+    // Resume reruns everything past the watermark; the merged campaign is
+    // byte-identical to a run that was never killed.
+    options.resume = true;
+    options.runner.on_trial = nullptr;
+    const auto resumed = runtime::run_campaign_shard(exp, trials, options);
+    EXPECT_TRUE(resumed.manifest.complete());
+    EXPECT_EQ(resumed.resumed_from, manifest.committed);
+    EXPECT_EQ(merged_jsonl(dir.str()), reference) << "jobs=" << jobs;
+  }
+}
+
+// The bounded-memory contract behind --streaming: peak RSS of a 100k-trial
+// streaming campaign stays within a constant band of a 1k-trial one. If
+// anything on the per-trial path still accumulates (records kept, lines
+// retained, per-trial trace buffers), 100k trials of 32 metrics each blow
+// past the band by hundreds of MB.
+TEST(CampaignStreaming, HundredThousandTrialRssStaysFlat) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "peak RSS is not meaningful under sanitizers";
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "peak RSS is not meaningful under sanitizers";
+#endif
+#endif
+  runtime::Experiment exp;
+  exp.name = "toy_campaign_wide";
+  exp.run = [](const runtime::TrialSpec& spec) {
+    Rng rng(spec.seed * 1009 + spec.trial_index);
+    runtime::TrialResult result;
+    for (int m = 0; m < 32; ++m)
+      result.metric("m" + std::to_string(m),
+                    static_cast<double>(rng.next_u64() % 1000000));
+    return result;
+  };
+  const auto wide_trials = [](std::size_t count) {
+    std::vector<runtime::TrialSpec> trials(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      trials[i].experiment = "toy_campaign_wide";
+      trials[i].trial_index = i;
+      trials[i].seed = 42 + i;
+    }
+    return trials;
+  };
+  const auto run_streaming = [](const runtime::Experiment& e,
+                                const std::vector<runtime::TrialSpec>& t,
+                                const std::string& dir) {
+    runtime::CampaignShardOptions options;
+    options.shard = runtime::ShardSpec{.index = 1, .count = 1};
+    options.directory = dir;
+    options.streaming = true;
+    options.runner.jobs = 4;
+    const auto result = runtime::run_campaign_shard(e, t, options);
+    ASSERT_TRUE(result.manifest.complete());
+    ASSERT_TRUE(result.records.empty());
+  };
+
+  // VmHWM is a monotonic high-water mark, so the small run must go first:
+  // it sets the baseline the big run is then measured against.
+  ScratchDir small_dir("rss_small");
+  run_streaming(exp, wide_trials(1000), small_dir.str());
+  const double baseline_mb = peak_rss_mb();
+  if (baseline_mb <= 0.0) GTEST_SKIP() << "/proc/self/status unreadable";
+
+  ScratchDir big_dir("rss_big");
+  run_streaming(exp, wide_trials(100000), big_dir.str());
+  const double peak_mb = peak_rss_mb();
+
+  EXPECT_LT(peak_mb - baseline_mb, 64.0)
+      << "streaming RSS grew with trial count: " << baseline_mb << " MB -> "
+      << peak_mb << " MB";
 }
 
 TEST(CampaignMerge, RefusesMissingShardAndForeignManifest) {

@@ -6,6 +6,9 @@
 #include <atomic>
 #include <filesystem>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "channel/testbed.h"
 #include "common/bytes.h"
@@ -376,6 +379,138 @@ TEST(Runner, SetupStatsDistinguishMemoryDiskAndBuild) {
     EXPECT_EQ(to_json_line(in_memory[i]), to_json_line(warm[i])) << i;
   }
   std::filesystem::remove_all(dir);
+}
+
+// Captures every commit and asserts the ResultStream contract as it goes:
+// batches are contiguous, in trial order, and each line is newline-terminated.
+class CollectStream final : public ResultStream {
+ public:
+  void commit(std::size_t first, const std::string* lines,
+              std::size_t count) override {
+    EXPECT_EQ(first, committed_);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_FALSE(lines[i].empty());
+      EXPECT_EQ(lines[i].back(), '\n');
+      text_ += lines[i];
+    }
+    committed_ += count;
+  }
+  const std::string& text() const { return text_; }
+  std::size_t committed() const { return committed_; }
+
+ private:
+  std::string text_;
+  std::size_t committed_ = 0;
+};
+
+// The streaming path must be an encoding of the in-memory path, not a
+// reimplementation: bytes out of the stream equal write_jsonl of the
+// records, at any job count, and keep_records=false only changes what the
+// caller gets back — on_trial still sees every full record.
+TEST(Runner, StreamingMatchesInMemoryJsonlAtAnyJobCount) {
+  const Experiment e = synthetic("runtime_test_streaming");
+  SweepSpec spec;
+  spec.axes = {{"a", {"1", "2", "3"}}, {"b", {"10", "20"}}};
+  spec.seeds = 4;
+  const auto trials = expand_sweep(e, spec);
+  ASSERT_EQ(trials.size(), 24u);
+
+  RunnerConfig plain;
+  plain.jobs = 1;
+  std::ostringstream reference;
+  write_jsonl(reference, run_trials(e, trials, plain));
+
+  for (const unsigned jobs : {1u, 4u}) {
+    CollectStream stream;
+    std::atomic<std::size_t> seen{0};
+    std::atomic<std::size_t> full_records{0};
+    RunnerConfig config;
+    config.jobs = jobs;
+    config.stream = &stream;
+    config.keep_records = false;
+    config.on_trial = [&](const TrialRecord& record) {
+      ++seen;
+      if (record.ok && !record.result.metrics.empty()) ++full_records;
+    };
+    const auto records = run_trials(e, trials, config);
+    EXPECT_TRUE(records.empty()) << "keep_records=false must drop records";
+    EXPECT_EQ(seen.load(), trials.size());
+    EXPECT_EQ(full_records.load(), trials.size());
+    EXPECT_EQ(stream.committed(), trials.size());
+    EXPECT_EQ(stream.text(), reference.str()) << "jobs=" << jobs;
+  }
+}
+
+// stream and keep_records are independent switches: both on means the
+// in-memory API keeps its shape while the bytes also go out the stream.
+TEST(Runner, StreamWithKeptRecordsReturnsBoth) {
+  const Experiment e = synthetic("runtime_test_stream_keep");
+  SweepSpec spec;
+  spec.axes = {{"a", {"1", "2"}}};
+  spec.seeds = 3;
+  const auto trials = expand_sweep(e, spec);
+
+  CollectStream stream;
+  RunnerConfig config;
+  config.jobs = 4;
+  config.stream = &stream;
+  const auto records = run_trials(e, trials, config);
+  ASSERT_EQ(records.size(), trials.size());
+  std::ostringstream from_records;
+  write_jsonl(from_records, records);
+  EXPECT_EQ(stream.text(), from_records.str());
+}
+
+// Regression: before the committer pipeline, a throwing on_trial callback
+// escaped a worker thread and took the process down via std::terminate.
+// The contract now is capture-first-exception, drain, rethrow after join.
+TEST(Runner, CallbackExceptionIsRethrownAfterJoin) {
+  const Experiment e = synthetic("runtime_test_callback_throw");
+  std::vector<TrialSpec> trials(32);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    trials[i].trial_index = i;
+    trials[i].seed = i;
+  }
+  for (const unsigned jobs : {1u, 4u}) {
+    std::atomic<int> calls{0};
+    RunnerConfig config;
+    config.jobs = jobs;
+    config.on_trial = [&](const TrialRecord&) {
+      if (calls.fetch_add(1) == 3) throw std::runtime_error("callback boom");
+    };
+    try {
+      run_trials(e, trials, config);
+      FAIL() << "expected rethrow at jobs=" << jobs;
+    } catch (const std::runtime_error& err) {
+      EXPECT_STREQ(err.what(), "callback boom");
+    }
+  }
+}
+
+// Same contract for a failing sink: a ResultStream whose commit throws
+// (e.g. disk full) stops the sweep and surfaces from run_trials.
+TEST(Runner, StreamExceptionIsRethrownAfterJoin) {
+  class ThrowingStream final : public ResultStream {
+   public:
+    void commit(std::size_t, const std::string*, std::size_t) override {
+      throw std::runtime_error("commit boom");
+    }
+  };
+  const Experiment e = synthetic("runtime_test_stream_throw");
+  std::vector<TrialSpec> trials(16);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    trials[i].trial_index = i;
+    trials[i].seed = i;
+  }
+  for (const unsigned jobs : {1u, 4u}) {
+    ThrowingStream stream;
+    RunnerConfig config;
+    config.jobs = jobs;
+    config.stream = &stream;
+    config.keep_records = false;
+    EXPECT_THROW(run_trials(e, trials, config), std::runtime_error)
+        << "jobs=" << jobs;
+  }
 }
 
 }  // namespace

@@ -527,10 +527,12 @@ TEST(TestBedRecycle, RewoundBedMatchesItsFirstRunAcrossAesBackends) {
 }
 
 // The merged JSONL stream is the sweep's observable: it must come out
-// byte-identical whatever the jobs count, the shard split, or the recycling
-// mode — the acceptance contract of the trial-throughput engine. Shard
-// slices reuse the campaign's range arithmetic, so the concatenation in
-// shard order is exactly the unsharded stream.
+// byte-identical whatever the jobs count, the shard split, the recycling
+// mode, or whether the bytes travel the in-memory path (write_jsonl of the
+// returned records) or the streaming commit pipeline — the acceptance
+// contract of the trial-throughput engine. Shard slices reuse the
+// campaign's range arithmetic, so the concatenation in shard order is
+// exactly the unsharded stream.
 TEST(Runner, MergedJsonlByteIdenticalAcrossJobsShardsAndRecycling) {
   runtime::register_builtin_experiments();
   const runtime::Experiment& experiment =
@@ -546,8 +548,9 @@ TEST(Runner, MergedJsonlByteIdenticalAcrossJobsShardsAndRecycling) {
       runtime::expand_sweep(experiment, spec);
 
   const auto merged_jsonl = [&](unsigned jobs, unsigned shard_count,
-                                bool recycle) {
+                                bool recycle, bool streaming = false) {
     std::ostringstream out;
+    runtime::JsonlResultStream stream(out);
     for (unsigned index = 1; index <= shard_count; ++index) {
       const runtime::ShardRange range = runtime::shard_range(
           trials.size(), runtime::ShardSpec{index, shard_count});
@@ -557,9 +560,13 @@ TEST(Runner, MergedJsonlByteIdenticalAcrossJobsShardsAndRecycling) {
       runtime::RunnerConfig config;
       config.jobs = jobs;
       config.recycle_systems = recycle;
+      if (streaming) {
+        config.stream = &stream;
+        config.keep_records = false;
+      }
       const std::vector<runtime::TrialRecord> records =
           runtime::run_trials(experiment, slice, config);
-      runtime::write_jsonl(out, records);
+      if (!streaming) runtime::write_jsonl(out, records);
     }
     return out.str();
   };
@@ -570,6 +577,10 @@ TEST(Runner, MergedJsonlByteIdenticalAcrossJobsShardsAndRecycling) {
   EXPECT_EQ(reference, merged_jsonl(4, 1, true)) << "jobs=4 recycle";
   EXPECT_EQ(reference, merged_jsonl(1, 3, true)) << "3 shards recycle";
   EXPECT_EQ(reference, merged_jsonl(4, 3, true)) << "jobs=4, 3 shards";
+  EXPECT_EQ(reference, merged_jsonl(1, 1, true, true)) << "jobs=1 streaming";
+  EXPECT_EQ(reference, merged_jsonl(4, 1, true, true)) << "jobs=4 streaming";
+  EXPECT_EQ(reference, merged_jsonl(4, 3, true, true))
+      << "jobs=4, 3 shards, streaming";
 }
 
 // Pool churn: more keys than the pool cap, so every round evicts parked
